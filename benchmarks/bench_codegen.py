@@ -1,0 +1,93 @@
+"""Experiment E5 — the paper's worked codegen examples (Figures 3, 5, 7)
+plus VM throughput.
+
+Times code generation of each program form on the paper's Figure-2 example
+and the execution of the generated programs on the virtual machine, and
+asserts the figures' structural facts (sizes, loop bounds, register
+counts) along the way.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codegen import pipelined_loop, unfolded_loop
+from repro.core import (
+    csr_pipelined_loop,
+    csr_retimed_unfolded_loop,
+    csr_unfolded_loop,
+)
+from repro.machine import run_program
+from repro.retiming import minimize_cycle_period
+from repro.workloads import figure2_example, figure4_loop
+
+N = 101
+
+
+@pytest.fixture(scope="module")
+def fig2_retiming():
+    g = figure2_example()
+    _, r = minimize_cycle_period(g)
+    return g, r
+
+
+def test_figure3_sizes(fig2_retiming, capsys):
+    g, r = fig2_retiming
+    plain = pipelined_loop(g, r)
+    csr = csr_pipelined_loop(g, r)
+    with capsys.disabled():
+        print(
+            f"\nFigure 3: pipelined size {plain.code_size} -> CSR {csr.code_size} "
+            f"({len(csr.registers())} registers, loop {csr.loop.start}..{csr.loop.end})"
+        )
+    assert plain.code_size == 20
+    assert csr.code_size == 13
+    assert str(csr.loop.start) == "-2"
+
+
+
+def test_bench_codegen_pipelined(benchmark, fig2_retiming):
+    g, r = fig2_retiming
+    benchmark(pipelined_loop, g, r)
+
+
+def test_bench_codegen_csr(benchmark, fig2_retiming):
+    g, r = fig2_retiming
+    benchmark(csr_pipelined_loop, g, r)
+
+
+def test_bench_codegen_unfolded_csr(benchmark):
+    g = figure4_loop()
+    benchmark(csr_unfolded_loop, g, 3)
+
+
+def test_bench_vm_original(benchmark, fig2_retiming):
+    from repro.codegen import original_loop
+
+    g, _ = fig2_retiming
+    p = original_loop(g)
+    res = benchmark(run_program, p, N)
+    assert res.executed == N * g.num_nodes
+
+
+def test_bench_vm_csr_pipelined(benchmark, fig2_retiming):
+    """CSR execution: same work, n + M_r iterations, guard checks on top."""
+    g, r = fig2_retiming
+    p = csr_pipelined_loop(g, r)
+    res = benchmark(run_program, p, N)
+    assert res.executed == N * g.num_nodes
+    assert res.disabled == r.max_value * g.num_nodes
+
+
+def test_bench_vm_csr_retimed_unfolded(benchmark, fig2_retiming):
+    g, r = fig2_retiming
+    p = csr_retimed_unfolded_loop(g, r, 3)
+    res = benchmark(run_program, p, N)
+    assert res.executed == N * g.num_nodes
+
+
+def test_bench_vm_unfolded_plain(benchmark):
+    g = figure4_loop()
+    p = unfolded_loop(g, 3, residue=N % 3)
+    res = benchmark(run_program, p, N)
+    assert res.executed == N * g.num_nodes

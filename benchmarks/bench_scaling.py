@@ -1,0 +1,63 @@
+"""Scaling study: code-size reduction as a function of problem size.
+
+Sweeps the parameterized biquad cascade (8k nodes per k sections) and the
+FIR tap count, reporting how the expanded size, CSR size and reduction
+percentage scale — the 'figure' the paper's evaluation implies but never
+plots.  Reduction grows with pipeline depth M_r and is independent of |V|
+at fixed depth, exactly as the closed-form models predict.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import csr_pipelined_loop, size_csr_pipelined, size_pipelined
+from repro.retiming import minimize_cycle_period
+from repro.workloads import biquad_cascade, fir_filter
+
+
+def test_cascade_scaling_report(capsys):
+    rows = []
+    for k in (1, 2, 3, 4, 6, 8):
+        g = biquad_cascade(k)
+        _, r = minimize_cycle_period(g)
+        plain = size_pipelined(g, r)
+        csr = size_csr_pipelined(g, r)
+        rows.append(
+            [k, g.num_nodes, r.max_value, r.registers_needed(), plain, csr,
+             f"{100 * (plain - csr) / plain:.1f}"]
+        )
+        assert csr < plain
+    with capsys.disabled():
+        print("\n=== Scaling: biquad cascade (8k nodes) ===")
+        print(format_table(
+            ["sections", "|V|", "M_r", "regs", "pipelined", "CSR", "%red"], rows
+        ))
+
+
+def test_fir_scaling_report(capsys):
+    """Acyclic loops pipeline arbitrarily deep: reduction approaches
+    M_r/(M_r+1) of the expanded code."""
+    rows = []
+    for taps in (3, 5, 8, 12):
+        g = fir_filter(taps)
+        _, r = minimize_cycle_period(g)
+        plain = size_pipelined(g, r)
+        csr = size_csr_pipelined(g, r)
+        rows.append([taps, g.num_nodes, r.max_value, plain, csr,
+                     f"{100 * (plain - csr) / plain:.1f}"])
+    with capsys.disabled():
+        print("\n=== Scaling: FIR filter (acyclic, period 1) ===")
+        print(format_table(["taps", "|V|", "M_r", "pipelined", "CSR", "%red"], rows))
+
+
+@pytest.mark.parametrize("k", (2, 4, 8))
+def test_bench_cascade_pipeline(benchmark, k):
+    g = biquad_cascade(k)
+
+    def pipeline():
+        _, r = minimize_cycle_period(g)
+        return csr_pipelined_loop(g, r).code_size
+
+    assert benchmark(pipeline) > 0

@@ -1,0 +1,48 @@
+"""Experiment E4 — Table 4: order comparison for the 4-stage lattice filter
+at a fixed iteration period of 8.
+
+The paper fixes cycle period 8 (per original iteration) and sweeps
+unfolding factors 2/3/4.  Our reconstruction reproduces the
+retime-unfold-CR row exactly (61 / 90 / 119) and the same who-wins
+ordering: retime-unfold <= unfold-retime, CSR strictly smallest; the plain
+rows run one pipeline level shallower than the paper's lattice
+(M_r = 2 vs. 3), shifting them by exactly one L per column.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import PAPER_TABLE4, format_order_comparison, table4_comparison
+from repro.core import csr_retimed_unfolded_loop
+from repro.unfolding import retime_unfold
+from repro.workloads import get_workload
+
+FACTORS = (2, 3, 4)
+ITERATION_PERIOD = 8
+
+
+def test_table4_report(capsys):
+    cols = table4_comparison(FACTORS, ITERATION_PERIOD)
+    with capsys.disabled():
+        print("\n=== Table 4: 4-stage lattice at iteration period 8 ===")
+        print(format_order_comparison(cols, PAPER_TABLE4))
+    # The CR row reproduces the paper exactly.
+    assert [c.csr_size for c in cols] == list(PAPER_TABLE4["retime-unfold-CR"])
+    for c in cols:
+        assert c.retime_unfold_size <= c.unfold_retime_size
+        assert c.csr_size < c.retime_unfold_size
+        assert c.iteration_period == ITERATION_PERIOD
+
+
+@pytest.mark.parametrize("f", FACTORS)
+def test_table4_pipeline_benchmark(benchmark, f):
+    """Time retiming-for-period + CSR codegen on the lattice filter."""
+    g = get_workload("lattice")
+
+    def pipeline():
+        res = retime_unfold(g, f, period=ITERATION_PERIOD * f)
+        return csr_retimed_unfolded_loop(g, res.retiming, f).code_size
+
+    size = benchmark(pipeline)
+    assert size == PAPER_TABLE4["retime-unfold-CR"][FACTORS.index(f)]

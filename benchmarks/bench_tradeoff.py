@@ -1,0 +1,83 @@
+"""Experiment E6 — Section 4's code-size/performance trade-off exploration.
+
+Sweeps unfolding factors per benchmark with the exact per-factor optimal
+iteration period, prints the design space (factor, period, plain size, CSR
+size, registers), and exercises the budgeted-selection and
+register-constrained APIs the paper's conclusion motivates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import best_under_budget, design_space, limit_registers
+from repro.workloads import BENCHMARKS, get_workload
+
+MAX_FACTOR = 4
+
+
+def test_design_space_report(capsys):
+    rows = []
+    for name in BENCHMARKS:
+        g = get_workload(name)
+        for p in design_space(g, max_factor=MAX_FACTOR):
+            rows.append(
+                [
+                    name,
+                    p.factor,
+                    str(p.iteration_period),
+                    p.size_plain,
+                    p.size_csr,
+                    p.registers,
+                ]
+            )
+    with capsys.disabled():
+        print("\n=== Design space: factor vs. period vs. code size ===")
+        print(
+            format_table(
+                ["bench", "f", "iter.period", "plain", "CSR", "regs"], rows
+            )
+        )
+    assert len(rows) == len(BENCHMARKS) * MAX_FACTOR
+
+
+@pytest.mark.parametrize("name", ["iir", "diffeq", "lattice"])
+def test_bench_design_space(benchmark, name):
+    """Time the full design-space sweep for one benchmark.
+
+    Note: the optimal iteration period is NOT monotone in f in general
+    (f=2 can beat f=3 when the bound's denominator is 2), so only the
+    bound inequality is asserted here.
+    """
+    from repro.graph import iteration_bound
+
+    g = get_workload(name)
+    points = benchmark(design_space, g, MAX_FACTOR)
+    bound = iteration_bound(g)
+    for p in points:
+        assert p.iteration_period >= bound
+
+
+def test_budgeted_selection(capsys):
+    """Pick the fastest configuration under a 64-instruction budget."""
+    g = get_workload("diffeq")
+    points = design_space(g, max_factor=MAX_FACTOR)
+    choice = best_under_budget(points, l_req=64)
+    assert choice is not None
+    assert choice.size_csr <= 64
+    with capsys.disabled():
+        print(
+            f"\ndiffeq under 64 instrs: f={choice.factor}, "
+            f"IP={choice.iteration_period}, size={choice.size_csr}"
+        )
+
+
+@pytest.mark.parametrize("budget", [1, 2, 3])
+def test_bench_register_constrained(benchmark, budget):
+    """Time register-constrained retiming on the Figure-2 example."""
+    from repro.workloads import figure2_example
+
+    g = figure2_example()
+    res = benchmark(limit_registers, g, budget)
+    assert res.registers <= budget

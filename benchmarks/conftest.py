@@ -1,0 +1,6 @@
+"""pytest-benchmark configuration for the experiment harness.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Each ``bench_tableN``
+module regenerates one table of the paper and prints the paper-vs-measured
+comparison (use ``-s`` to see the tables; they are also asserted).
+"""

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""From DFG to native code: emit C, compile it, and cross-check the binary.
+
+The last mile of adoption: the library emits a standalone C translation
+unit for any generated program (same ring arithmetic, same initial-value
+model, same predicate window), so the optimal-size loop can run on real
+hardware.  This example emits C for the paper's Figure-2 loop in both the
+plain pipelined and the conditional-register forms, compiles them with the
+system compiler, runs both binaries, and verifies their output against the
+Python VM instance by instance.
+
+Run: ``python examples/c_workflow.py``   (needs a C compiler on PATH)
+"""
+
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+
+from repro import minimize_cycle_period, pipelined_loop
+from repro.codegen import emit_c
+from repro.core import csr_pipelined_loop
+from repro.machine import run_program
+from repro.workloads import figure2_example
+
+N = 50
+
+
+def compile_and_run(cc: str, program, g, n: int) -> dict[str, dict[int, int]]:
+    with tempfile.TemporaryDirectory() as td:
+        src = Path(td, "loop.c")
+        exe = Path(td, "loop")
+        src.write_text(emit_c(program, g))
+        subprocess.run([cc, "-O2", "-o", str(exe), str(src)], check=True)
+        out = subprocess.run(
+            [str(exe), str(n)], capture_output=True, text=True, check=True
+        ).stdout
+    arrays: dict[str, dict[int, int]] = {}
+    for line in out.splitlines():
+        name, idx, val = line.split()
+        arrays.setdefault(name, {})[int(idx)] = int(val)
+    return arrays
+
+
+def main() -> int:
+    cc = shutil.which("cc") or shutil.which("gcc")
+    if cc is None:
+        print("no C compiler on PATH — skipping")
+        return 0
+
+    g = figure2_example()
+    _, r = minimize_cycle_period(g)
+    plain = pipelined_loop(g, r)
+    csr = csr_pipelined_loop(g, r)
+    reference = run_program(csr, N).arrays
+
+    for program in (plain, csr):
+        native = compile_and_run(cc, program, g, N)
+        assert native == reference, program.name
+        print(f"{program.name}: {program.code_size} instructions -> "
+              f"native binary matches the VM for n = {N}")
+
+    print("\nemitted CSR C (first 25 lines):")
+    for line in emit_c(csr, g).splitlines()[:25]:
+        print(f"  {line}")
+    return 0
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Bring your own loop: front-end to VLIW in five steps.
+
+Shows the full user path for code not bundled with the library:
+
+1. write the loop in the paper's own notation and parse it;
+2. retime it to the minimum cycle period;
+3. generate the optimal-size conditional-register program;
+4. pack the loop body into VLIW words on a 2-ALU + 1-multiplier machine —
+   demonstrating that the register decrements ride in free issue slots
+   (the paper's performance argument);
+5. verify the program against the original loop on the VM.
+
+Run: ``python examples/custom_loop.py``
+"""
+
+from repro import (
+    assert_equivalent,
+    csr_pipelined_loop,
+    cycle_period,
+    format_program,
+    minimize_cycle_period,
+    parse_loop,
+    pipelined_loop,
+)
+from repro.schedule import ResourceModel, pack_body
+
+SOURCE = """
+# A complex-multiply update loop with a three-deep recurrence.
+XR[i] = AR[i-3] * CR[i-1]
+XI[i] = AR[i-3] * CI[i-1]
+YR[i] = XR[i] - ZI[i-2]
+YI[i] = XI[i] + ZR[i-2]
+ZR[i] = YR[i] + 1
+ZI[i] = YI[i] + 2
+AR[i] = YR[i] * YI[i]
+CR[i] = ZR[i-1] + 3
+CI[i] = ZI[i-1] + 5
+"""
+
+
+def main() -> None:
+    # 1. Parse.
+    g = parse_loop(SOURCE, name="cmul")
+    print(f"parsed {g.num_nodes} statements, {g.num_edges} dependencies, "
+          f"cycle period {cycle_period(g)}")
+
+    # 2. Retime.
+    period, r = minimize_cycle_period(g)
+    print(f"retimed to period {period}: r = {r.as_dict()}")
+
+    # 3. CSR program.
+    plain = pipelined_loop(g, r)
+    csr = csr_pipelined_loop(g, r)
+    print(f"\ncode size {plain.code_size} (pipelined) -> {csr.code_size} "
+          f"(CSR, {len(csr.registers())} registers)")
+    print(format_program(csr))
+
+    # 4. VLIW packing: the decrement overhead hides in free slots.
+    machine = ResourceModel(units={"alu": 2, "mul": 1})
+    plain_ii = pack_body(plain, machine).initiation_interval
+    csr_sched = pack_body(csr, machine, control_slots=2)
+    print(f"\nVLIW on 2 ALU + 1 MUL: plain body II = {plain_ii} words, "
+          f"CSR body II = {csr_sched.initiation_interval} words "
+          f"(utilization {csr_sched.utilization():.0%})")
+
+    # 5. Prove equivalence.
+    for n in (1, 4, 33, 200):
+        assert_equivalent(g, csr, n)
+    print("verified on the VM for n in {1, 4, 33, 200}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Design-space exploration: performance under a code-size budget.
+
+The trade-off the paper closes with: every unit of unfolding buys rate but
+costs ``L_orig`` instructions, every pipeline level costs another — so an
+embedded target with ``L_req`` words of program memory induces a frontier
+``M_f = floor(L_req / L_orig) - M_r``.  This example sweeps the frontier
+for the Volterra filter (iteration bound 27/2, so unfolding by 2 genuinely
+buys rate), picks the fastest configuration for a
+series of memory budgets, and shows what a register-file limit does to the
+choice.
+
+Run: ``python examples/design_space.py``
+"""
+
+from repro import best_under_budget, design_space, limit_registers
+from repro.analysis import format_table
+from repro.core import max_retiming_depth, max_unfolding_factor
+from repro.graph import iteration_bound
+from repro.workloads import volterra_filter
+
+
+def main() -> None:
+    g = volterra_filter()
+    print(f"Volterra filter: {g.num_nodes} ops, bound {iteration_bound(g)}")
+
+    # The exact design space: per factor, best achievable iteration period.
+    points = design_space(g, max_factor=5)
+    print()
+    print(
+        format_table(
+            ["f", "iter.period", "plain size", "CSR size", "registers"],
+            [
+                [p.factor, str(p.iteration_period), p.size_plain, p.size_csr, p.registers]
+                for p in points
+            ],
+        )
+    )
+
+    # Closed-form frontier from the paper's formulas.
+    l_orig = g.num_nodes
+    m_r = points[0].retiming.max_value
+    print(f"\npaper formulas with M_r = {m_r}:")
+    for l_req in (60, 90, 120, 180):
+        print(
+            f"  L_req = {l_req:4d}: max unfolding factor "
+            f"{max_unfolding_factor(l_req, l_orig, m_r)}, "
+            f"max pipeline depth at f=2 {max_retiming_depth(l_req, l_orig, 2)}"
+        )
+
+    # Budgeted selection over the measured frontier.
+    print("\nfastest configuration per memory budget (CSR code):")
+    for l_req in (60, 90, 120, 180):
+        choice = best_under_budget(points, l_req)
+        if choice is None:
+            print(f"  {l_req:4d} instrs: nothing fits")
+        else:
+            print(
+                f"  {l_req:4d} instrs: f={choice.factor}, "
+                f"IP={choice.iteration_period}, size={choice.size_csr}, "
+                f"{choice.registers} registers"
+            )
+
+    # And when the predicate register file is the scarce resource:
+    print("\nregister-constrained retiming (f = 1):")
+    for budget in (3, 2, 1):
+        res = limit_registers(g, budget)
+        print(
+            f"  {budget} register(s): period {res.period} "
+            f"(unconstrained {res.unconstrained_period}), "
+            f"uses {res.registers}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Case study: pipelining a second-order IIR biquad under real constraints.
+
+The scenario the paper's introduction motivates: a DSP inner loop that must
+run at the highest rate the recurrences allow, on a machine with a couple
+of functional units and a small program memory.
+
+This example uses the *resource-constrained* path of the library:
+
+1. rotation scheduling (Chao–LaPaugh–Sha) pipelines the IIR filter on a
+   machine with 1 multiplier + 2 ALUs — each rotation is a retiming step;
+2. the accumulated retiming's prologue/epilogue is then removed with
+   conditional registers;
+3. the result is validated on the VM and sized against the paper's models.
+
+Run: ``python examples/iir_pipeline.py``
+"""
+
+from repro import (
+    ResourceModel,
+    assert_equivalent,
+    csr_pipelined_loop,
+    format_program,
+    pipelined_loop,
+    rotation_schedule,
+)
+from repro.graph import iteration_bound
+from repro.workloads import iir_filter
+
+
+def main() -> None:
+    g = iir_filter()
+    machine = ResourceModel(units={"mul": 1, "alu": 2})
+
+    print(f"IIR biquad: {g.num_nodes} ops "
+          f"({machine.usage(g)}), iteration bound {iteration_bound(g)}")
+
+    # 1. Software pipelining under resource constraints.
+    rot = rotation_schedule(g, machine)
+    print(f"\nrotation scheduling: {rot.initial_length} -> {rot.length} "
+          f"control steps after {rot.rotations} rotation(s)")
+    print(f"accumulated retiming: {rot.retiming.as_dict()}")
+    for step, names in enumerate(rot.schedule.table()):
+        print(f"  step {step}: {', '.join(names)}")
+
+    # 2. What the pipelined loop costs, and what CSR recovers.
+    plain = pipelined_loop(g, rot.retiming)
+    csr = csr_pipelined_loop(g, rot.retiming)
+    print(f"\ncode size: plain pipelined {plain.code_size}, "
+          f"CSR {csr.code_size} with {len(csr.registers())} register(s)")
+    print()
+    print(format_program(csr))
+
+    # 3. Prove it: identical filter state for a 1000-sample run.
+    assert_equivalent(g, csr, 1000)
+    print("\nverified on the VM: 1000 samples, identical output arrays")
+
+
+if __name__ == "__main__":
+    main()

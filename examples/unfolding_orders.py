@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Retime-then-unfold vs. unfold-then-retime: why order matters for size.
+
+The paper's Section 4 headline: both orders reach the same iteration
+period (Chao & Sha), but retiming *first* yields code that is never larger
+— and conditional registers then remove the remaining expansion with no
+extra registers (Theorem 4.7), while the unfold-first order can need one
+register per distinct *copy* value.
+
+This example reproduces that comparison on the differential-equation
+benchmark across unfolding factors, printing a Table-3/4-style summary,
+and finishes by running every variant on the VM.
+
+Run: ``python examples/unfolding_orders.py``
+"""
+
+from repro import (
+    assert_equivalent,
+    csr_retimed_unfolded_loop,
+    csr_unfold_retimed_loop,
+    retime_unfold,
+    unfold_retime,
+)
+from repro.analysis import format_table
+from repro.core import size_retime_unfold, size_unfold_retime
+from repro.graph import iteration_bound
+from repro.workloads import differential_equation
+
+
+def main() -> None:
+    g = differential_equation()
+    print(f"differential-equation solver: {g.num_nodes} ops, "
+          f"iteration bound {iteration_bound(g)}")
+
+    rows = []
+    programs = []
+    for f in (1, 2, 3, 4):
+        ru = retime_unfold(g, f)                      # retime first (exact)
+        ur = unfold_retime(g, f, period=ru.period)    # unfold first, same period
+        csr_ru = csr_retimed_unfolded_loop(g, ru.retiming, f)
+        csr_ur = csr_unfold_retimed_loop(g, ur.retiming, f)
+        programs += [(csr_ru, f), (csr_ur, f)]
+        rows.append(
+            [
+                f,
+                str(ru.iteration_period),
+                size_unfold_retime(g, ur.retiming, f),
+                size_retime_unfold(g, ru.retiming, f),
+                csr_ru.code_size,
+                len(csr_ru.registers()),
+                len(csr_ur.registers()),
+            ]
+        )
+
+    print()
+    print(
+        format_table(
+            [
+                "f",
+                "iter.period",
+                "unfold-retime",
+                "retime-unfold",
+                "retime-unfold-CR",
+                "regs (r-u)",
+                "regs (u-r)",
+            ],
+            rows,
+        )
+    )
+    print("\nnote: retime-unfold <= unfold-retime in every row "
+          "(Theorems 4.4/4.5); the CR column uses |N_r| registers at any f "
+          "(Theorem 4.7), while unfold-first may need more.")
+
+    for program, f in programs:
+        assert_equivalent(g, program, 101)
+    print("verified: every variant matches the original loop at n = 101")
+
+
+if __name__ == "__main__":
+    main()

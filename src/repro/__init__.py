@@ -1,0 +1,133 @@
+"""repro — optimal code-size reduction for software-pipelined DSP loops.
+
+A complete, executable reproduction of Zhuge, Xiao, Shao, Sha &
+Chantrapornchai (2002): retiming-based software pipelining, unfolding, and
+the conditional-register framework that removes *all* code-size expansion
+(prologue, epilogue, remainder iterations) those transformations introduce.
+
+Quickstart::
+
+    from repro import DFG, OpKind, minimize_cycle_period
+    from repro import csr_pipelined_loop, assert_equivalent
+
+    g = DFG("loop")
+    g.add_node("A", op=OpKind.MUL, imm=3)
+    g.add_node("B", op=OpKind.ADD, imm=7)
+    g.add_node("C", op=OpKind.MUL, imm=2)
+    g.add_edge("B", "A", 3)
+    g.add_edge("A", "B", 0)
+    g.add_edge("B", "C", 0)
+
+    period, r = minimize_cycle_period(g)   # software-pipeline the loop
+    program = csr_pipelined_loop(g, r)     # optimal-size predicated form
+    assert_equivalent(g, program, n=100)   # prove it on the VM
+
+Subpackages
+-----------
+``repro.graph``      data-flow graphs, cycle period, iteration bound, W/D
+``repro.retiming``   retiming functions, optimal retiming (LS), FEAS
+``repro.unfolding``  the G -> G_f transformation; both composition orders
+``repro.schedule``   list scheduling, rotation scheduling, resources
+``repro.codegen``    loop-program IR and plain code generators
+``repro.machine``    the predicated virtual DSP machine
+``repro.core``       the CSR framework, size models, trade-off explorer
+``repro.workloads``  the paper's benchmarks and worked examples
+``repro.analysis``   drivers regenerating the paper's tables
+"""
+
+from .graph import (
+    DFG,
+    DFGError,
+    Edge,
+    Node,
+    OpKind,
+    cycle_period,
+    iteration_bound,
+    topological_order,
+    validate,
+)
+from .retiming import (
+    Retiming,
+    RetimingError,
+    feas,
+    minimize_cycle_period,
+    rate_optimal_retiming,
+    retime_for_period,
+)
+from .unfolding import retime_unfold, unfold, unfold_retime
+from .schedule import ResourceModel, list_schedule, rotation_schedule
+from .codegen import (
+    LoopProgram,
+    format_program,
+    original_loop,
+    pipelined_loop,
+    retimed_unfolded_loop,
+    unfold_retimed_loop,
+    unfolded_loop,
+)
+from .machine import MachineError, run_program
+from .core import (
+    assert_equivalent,
+    best_under_budget,
+    csr_pipelined_loop,
+    csr_retimed_unfolded_loop,
+    csr_unfold_retimed_loop,
+    csr_unfolded_loop,
+    design_space,
+    equivalent,
+    limit_registers,
+)
+from .compiler import CompilationResult, compile_loop
+from .frontend import ParseError, parse_loop
+from .workloads import benchmark_graphs, get_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DFG",
+    "DFGError",
+    "Edge",
+    "Node",
+    "OpKind",
+    "cycle_period",
+    "iteration_bound",
+    "topological_order",
+    "validate",
+    "Retiming",
+    "RetimingError",
+    "feas",
+    "minimize_cycle_period",
+    "rate_optimal_retiming",
+    "retime_for_period",
+    "retime_unfold",
+    "unfold",
+    "unfold_retime",
+    "ResourceModel",
+    "list_schedule",
+    "rotation_schedule",
+    "LoopProgram",
+    "format_program",
+    "original_loop",
+    "pipelined_loop",
+    "retimed_unfolded_loop",
+    "unfold_retimed_loop",
+    "unfolded_loop",
+    "MachineError",
+    "run_program",
+    "assert_equivalent",
+    "best_under_budget",
+    "csr_pipelined_loop",
+    "csr_retimed_unfolded_loop",
+    "csr_unfold_retimed_loop",
+    "csr_unfolded_loop",
+    "design_space",
+    "equivalent",
+    "limit_registers",
+    "CompilationResult",
+    "compile_loop",
+    "ParseError",
+    "parse_loop",
+    "benchmark_graphs",
+    "get_workload",
+    "__version__",
+]

@@ -1,0 +1,227 @@
+"""Command-line interface.
+
+Examples::
+
+    python -m repro list                         # available workloads
+    python -m repro info iir                     # graph + retiming stats
+    python -m repro csr figure2                  # paper-style CSR listing
+    python -m repro csr figure2 --unfold 3       # retimed-unfolded CSR
+    python -m repro run figure4 -n 12            # execute + verify on the VM
+    python -m repro parse my_loop.txt --csr      # front-end to CSR listing
+    python -m repro dot elliptic > elliptic.dot  # Graphviz export
+    python -m repro tables 1 2                   # regenerate paper tables
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.__main__ import main as tables_main
+from .codegen import emit_c, format_program, original_loop
+from .core import (
+    assert_equivalent,
+    csr_pipelined_loop,
+    csr_retimed_unfolded_loop,
+    size_csr_pipelined,
+    size_pipelined,
+)
+from .compiler import compile_loop
+from .frontend import parse_loop
+from .graph import critical_cycle, cycle_period, cycle_stats, iteration_bound
+from .graph.serialize import to_dot, to_json
+from .retiming import minimize_cycle_period
+from .workloads import WORKLOADS, get_workload
+
+
+def _cmd_list(_args) -> int:
+    for name in sorted(WORKLOADS):
+        g = get_workload(name)
+        print(f"{name:10s} {g.num_nodes:3d} nodes, {g.num_edges:3d} edges")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    g = get_workload(args.workload)
+    period, r = minimize_cycle_period(g)
+    print(f"workload      : {g.name}")
+    print(f"nodes / edges : {g.num_nodes} / {g.num_edges}")
+    print(f"cycle period  : {cycle_period(g)} -> {period} (retimed)")
+    print(f"iteration bnd : {iteration_bound(g)}")
+    witness = critical_cycle(g)
+    if witness:
+        t, d = cycle_stats(g, witness)
+        print(f"critical cycle: {' -> '.join(witness)} (T={t}, D={d})")
+    print(f"retiming      : {r.as_dict()}")
+    print(f"M_r / |N_r|   : {r.max_value} / {r.registers_needed()}")
+    print(f"code size     : {g.num_nodes} -> {size_pipelined(g, r)} (pipelined) "
+          f"-> {size_csr_pipelined(g, r)} (CSR)")
+    return 0
+
+
+def _cmd_csr(args) -> int:
+    g = get_workload(args.workload)
+    _, r = minimize_cycle_period(g)
+    if args.unfold > 1:
+        program = csr_retimed_unfolded_loop(g, r, args.unfold)
+    else:
+        program = csr_pipelined_loop(g, r)
+    print(format_program(program))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    g = get_workload(args.workload)
+    _, r = minimize_cycle_period(g)
+    program = csr_pipelined_loop(g, r)
+    result = assert_equivalent(g, program, args.n)
+    print(f"{program.name}: n={args.n}, {result.executed} computes executed, "
+          f"{result.disabled} disabled — equivalent to the original loop")
+    return 0
+
+
+def _cmd_compile(args) -> int:
+    from .schedule import ResourceModel
+
+    g = get_workload(args.workload)
+    resources = None
+    if args.alu or args.mul:
+        units = {}
+        if args.alu:
+            units["alu"] = args.alu
+        if args.mul:
+            units["mul"] = args.mul
+        resources = ResourceModel(units=units)
+    result = compile_loop(
+        g,
+        resources=resources,
+        max_unfold=args.max_unfold,
+        code_budget=args.budget,
+        max_registers=args.registers,
+    )
+    print(f"factor            : {result.factor}")
+    print(f"iteration period  : {result.iteration_period}")
+    print(f"code size         : {result.code_size}")
+    print(f"registers         : {result.registers}")
+    print(f"verified at n     : {result.verified_n}")
+    print()
+    print(format_program(result.program))
+    return 0
+
+
+def _cmd_parse(args) -> int:
+    source = sys.stdin.read() if args.file == "-" else open(args.file).read()
+    g = parse_loop(source, name=args.name)
+    if args.csr:
+        _, r = minimize_cycle_period(g)
+        print(format_program(csr_pipelined_loop(g, r)))
+    elif args.json:
+        print(to_json(g))
+    else:
+        print(format_program(original_loop(g)))
+    return 0
+
+
+def _cmd_cgen(args) -> int:
+    g = get_workload(args.workload)
+    if args.csr:
+        _, r = minimize_cycle_period(g)
+        program = csr_pipelined_loop(g, r)
+    else:
+        program = original_loop(g)
+    print(emit_c(program, g))
+    return 0
+
+
+def _cmd_dot(args) -> int:
+    print(to_dot(get_workload(args.workload)))
+    return 0
+
+
+def _cmd_json(args) -> int:
+    print(to_json(get_workload(args.workload)))
+    return 0
+
+
+def _cmd_tables(args) -> int:
+    return tables_main(args.tables)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Code-size reduction for software-pipelined DSP loops "
+        "(Zhuge et al., 2002 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available workloads").set_defaults(fn=_cmd_list)
+
+    p = sub.add_parser("info", help="graph and retiming statistics")
+    p.add_argument("workload")
+    p.set_defaults(fn=_cmd_info)
+
+    p = sub.add_parser("csr", help="print the conditional-register program")
+    p.add_argument("workload")
+    p.add_argument("--unfold", type=int, default=1, metavar="F")
+    p.set_defaults(fn=_cmd_csr)
+
+    p = sub.add_parser("run", help="execute the CSR program and verify it")
+    p.add_argument("workload")
+    p.add_argument("-n", type=int, default=20, help="trip count (default 20)")
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("compile", help="auto-compile: factors, budgets, verify")
+    p.add_argument("workload")
+    p.add_argument("--max-unfold", type=int, default=4)
+    p.add_argument("--budget", type=int, default=None, help="code-size budget")
+    p.add_argument("--registers", type=int, default=None, help="register budget")
+    p.add_argument("--alu", type=int, default=0, help="ALU count (0 = unlimited)")
+    p.add_argument("--mul", type=int, default=0, help="multiplier count")
+    p.set_defaults(fn=_cmd_compile)
+
+    p = sub.add_parser("parse", help="parse loop source (file or '-')")
+    p.add_argument("file")
+    p.add_argument("--name", default="loop")
+    p.add_argument("--csr", action="store_true", help="retime + CSR the result")
+    p.add_argument("--json", action="store_true", help="emit DFG JSON")
+    p.set_defaults(fn=_cmd_parse)
+
+    p = sub.add_parser("cgen", help="emit standalone C for a workload's loop")
+    p.add_argument("workload")
+    p.add_argument("--csr", action="store_true", help="emit the CSR program")
+    p.set_defaults(fn=_cmd_cgen)
+
+    p = sub.add_parser("dot", help="Graphviz export of a workload")
+    p.add_argument("workload")
+    p.set_defaults(fn=_cmd_dot)
+
+    p = sub.add_parser("json", help="JSON export of a workload")
+    p.add_argument("workload")
+    p.set_defaults(fn=_cmd_json)
+
+    p = sub.add_parser("tables", help="regenerate the paper's tables")
+    p.add_argument("tables", nargs="*", choices=["1", "2", "3", "4"], metavar="N")
+    p.set_defaults(fn=_cmd_tables)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # stdout went away (e.g. piped into `head`); exit quietly like a
+        # well-behaved unix tool.
+        import os
+
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        os._exit(0)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

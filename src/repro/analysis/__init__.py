@@ -1,0 +1,37 @@
+"""Experiment drivers and reporting for the paper's evaluation tables."""
+
+from .experiments import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    OrderComparison,
+    Table1Row,
+    Table2Row,
+    format_order_comparison,
+    format_table1,
+    format_table2,
+    table1_rows,
+    table2_rows,
+    table3_comparison,
+    table4_comparison,
+)
+from .tables import format_table
+
+__all__ = [
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "OrderComparison",
+    "Table1Row",
+    "Table2Row",
+    "format_order_comparison",
+    "format_table1",
+    "format_table2",
+    "table1_rows",
+    "table2_rows",
+    "table3_comparison",
+    "table4_comparison",
+    "format_table",
+]

@@ -1,0 +1,46 @@
+"""Regenerate every paper table on the command line.
+
+Usage::
+
+    python -m repro.analysis            # all four tables
+    python -m repro.analysis 1 3        # just Tables 1 and 3
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .experiments import (
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    format_order_comparison,
+    format_table1,
+    format_table2,
+    table3_comparison,
+    table4_comparison,
+)
+
+
+def main(argv: list[str]) -> int:
+    wanted = set(argv) or {"1", "2", "3", "4"}
+    if "1" in wanted:
+        print("=== Table 1: code size after retiming and registers needed ===")
+        print(format_table1())
+        print()
+    if "2" in wanted:
+        print("=== Table 2: retiming + unfolding (f=3, LC=101) ===")
+        print(format_table2())
+        print()
+    if "3" in wanted:
+        print("=== Table 3: order comparison, Figure-8 DFG ===")
+        print(format_order_comparison(table3_comparison(), PAPER_TABLE3))
+        print()
+    if "4" in wanted:
+        print("=== Table 4: 4-stage lattice at iteration period 8 ===")
+        print(format_order_comparison(table4_comparison(), PAPER_TABLE4))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

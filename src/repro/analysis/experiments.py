@@ -1,0 +1,344 @@
+"""Experiment drivers that regenerate every table of the paper.
+
+Each ``tableN_rows`` function computes the measured quantities from first
+principles (optimal retiming, exact order comparison, code-size models
+validated against generated programs) and pairs them with the paper's
+published numbers, so the benchmark harness and EXPERIMENTS.md print both
+side by side.  The benchmark files under ``benchmarks/`` are thin wrappers
+around these drivers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..core.codesize import (
+    size_csr_pipelined,
+    size_csr_retime_unfold,
+    size_original,
+    size_pipelined,
+    size_retime_unfold,
+    size_unfold_retime,
+)
+from ..core.predicated import PER_COPY, PER_ITERATION
+from ..graph.dfg import DFG
+from ..graph.iteration_bound import iteration_bound
+from ..retiming.function import Retiming
+from ..retiming.optimal import minimize_cycle_period
+from ..unfolding.orders import retime_unfold, unfold_retime
+from ..workloads.registry import BENCHMARKS, PAPER_LABELS, get_workload
+from .tables import format_table
+
+__all__ = [
+    "Table1Row",
+    "Table2Row",
+    "OrderComparison",
+    "table1_rows",
+    "table2_rows",
+    "table3_comparison",
+    "table4_comparison",
+    "format_table1",
+    "format_table2",
+    "format_order_comparison",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+]
+
+# ----------------------------------------------------------------------
+# Published numbers (for side-by-side reporting).
+# ----------------------------------------------------------------------
+
+#: Table 1 of the paper: benchmark -> (orig, retimed, CR, registers, %red).
+PAPER_TABLE1: dict[str, tuple[int, int, int, int, float]] = {
+    "iir": (8, 16, 12, 2, 25.0),
+    "diffeq": (11, 33, 17, 3, 48.5),
+    "allpole": (15, 60, 23, 4, 61.7),
+    "elliptic": (34, 68, 40, 3, 41.2),
+    "lattice": (26, 78, 32, 3, 59.0),
+    "volterra": (27, 54, 31, 2, 42.6),
+}
+
+#: Table 2 (f=3, LC=101): benchmark -> (R-U, CR, registers, %red).
+PAPER_TABLE2: dict[str, tuple[int, int, int, float]] = {
+    "iir": (48, 32, 2, 33.3),
+    "diffeq": (77, 45, 3, 41.6),
+    "allpole": (120, 61, 4, 49.2),
+    "elliptic": (238, 114, 3, 52.1),
+    "lattice": (182, 90, 3, 50.5),
+    "volterra": (168, 89, 2, 47.0),
+}
+
+#: Table 3 (Figure-8 DFG): row label -> sizes at uf = 2, 3, 4.
+PAPER_TABLE3: dict[str, tuple[object, object, object]] = {
+    "unfold-retime": (20, 30, 40),
+    "retime-unfold": (20, 30, 30),
+    "retime-unfold-CR": (14, 19, 24),
+    "iteration period": (20, 19, 13.5),
+}
+
+#: Table 4 (4-stage lattice, cycle period 8): row label -> sizes.
+PAPER_TABLE4: dict[str, tuple[int, int, int]] = {
+    "unfold-retime": (156, 312, 416),
+    "retime-unfold": (130, 156, 182),
+    "retime-unfold-CR": (61, 90, 119),
+}
+
+
+# ----------------------------------------------------------------------
+# Table 1 — code size after retiming, CSR, registers.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """Measured Table-1 row for one benchmark."""
+
+    name: str
+    label: str
+    original: int
+    retimed: int
+    csr: int
+    registers: int
+    period_before: int
+    period_after: int
+    retiming: Retiming
+
+    @property
+    def reduction_pct(self) -> float:
+        return 100.0 * (self.retimed - self.csr) / self.retimed
+
+
+def table1_rows() -> list[Table1Row]:
+    """Optimal retiming + CSR statistics for the six benchmarks."""
+    from ..graph.period import cycle_period
+
+    rows = []
+    for name in BENCHMARKS:
+        g = get_workload(name)
+        before = cycle_period(g)
+        after, r = minimize_cycle_period(g)
+        rows.append(
+            Table1Row(
+                name=name,
+                label=PAPER_LABELS[name],
+                original=size_original(g),
+                retimed=size_pipelined(g, r),
+                csr=size_csr_pipelined(g, r),
+                registers=r.registers_needed(),
+                period_before=before,
+                period_after=after,
+                retiming=r,
+            )
+        )
+    return rows
+
+
+def format_table1(rows: list[Table1Row] | None = None) -> str:
+    """Side-by-side paper vs. measured rendering of Table 1."""
+    rows = rows if rows is not None else table1_rows()
+    out = []
+    for row in rows:
+        p = PAPER_TABLE1[row.name]
+        out.append(
+            [
+                row.label,
+                row.original,
+                p[1],
+                row.retimed,
+                p[2],
+                row.csr,
+                p[3],
+                row.registers,
+                p[4],
+                row.reduction_pct,
+            ]
+        )
+    return format_table(
+        [
+            "Benchmark",
+            "Orig",
+            "Ret(paper)",
+            "Ret(ours)",
+            "CR(paper)",
+            "CR(ours)",
+            "Rgs(paper)",
+            "Rgs(ours)",
+            "%Red(paper)",
+            "%Red(ours)",
+        ],
+        out,
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 2 — retiming + unfolding (f = 3, LC = 101).
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """Measured Table-2 row: the Table-1 retiming unfolded by ``f``."""
+
+    name: str
+    label: str
+    factor: int
+    trip_count: int
+    expanded: int  # retime-unfold with remainder iterations counted
+    csr: int
+    registers: int
+
+    @property
+    def reduction_pct(self) -> float:
+        return 100.0 * (self.expanded - self.csr) / self.expanded
+
+
+def table2_rows(f: int = 3, n: int = 101) -> list[Table2Row]:
+    """Unfold each benchmark's Table-1 retiming by ``f`` (the paper reuses
+    the same retiming — its register column is identical across tables)."""
+    rows = []
+    for name in BENCHMARKS:
+        g = get_workload(name)
+        _, r = minimize_cycle_period(g)
+        remainder = n % f
+        rows.append(
+            Table2Row(
+                name=name,
+                label=PAPER_LABELS[name],
+                factor=f,
+                trip_count=n,
+                expanded=size_retime_unfold(g, r, f, remainder),
+                csr=size_csr_retime_unfold(g, r, f, mode=PER_COPY),
+                registers=r.registers_needed(),
+            )
+        )
+    return rows
+
+
+def format_table2(rows: list[Table2Row] | None = None) -> str:
+    """Side-by-side paper vs. measured rendering of Table 2."""
+    rows = rows if rows is not None else table2_rows()
+    out = []
+    for row in rows:
+        p = PAPER_TABLE2[row.name]
+        out.append(
+            [
+                row.label,
+                p[0],
+                row.expanded,
+                p[1],
+                row.csr,
+                p[2],
+                row.registers,
+                p[3],
+                row.reduction_pct,
+            ]
+        )
+    return format_table(
+        [
+            "Benchmark",
+            "R-U(paper)",
+            "R-U(ours)",
+            "CR(paper)",
+            "CR(ours)",
+            "Rgs(paper)",
+            "Rgs(ours)",
+            "%Red(paper)",
+            "%Red(ours)",
+        ],
+        out,
+    )
+
+
+# ----------------------------------------------------------------------
+# Tables 3 and 4 — order comparison across unfolding factors.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OrderComparison:
+    """Order-comparison column for one unfolding factor (Tables 3/4).
+
+    ``csr_mode`` records which decrement convention prices the CR row —
+    Table 3 uses per-iteration (2 per register), Table 4 per-copy
+    (``f + 1`` per register).
+    """
+
+    factor: int
+    period: int
+    iteration_period: Fraction
+    bound: Fraction
+    unfold_retime_size: int
+    retime_unfold_size: int
+    csr_size: int
+    registers: int
+    csr_mode: str
+    m_unfold_retime: int
+    m_retime_unfold: int
+
+
+def _compare_orders(g: DFG, f: int, period: int | None, csr_mode: str) -> OrderComparison:
+    from ..core.partial import minimize_registers_for_unfold
+
+    ur = unfold_retime(g, f, period=period)
+    ru = retime_unfold(g, f, period=period if period is not None else ur.period)
+    r = ru.retiming
+    if g.num_nodes <= 7:
+        # Small graphs: provably register-minimal retiming at the same period.
+        better = minimize_registers_for_unfold(g, f, ru.period)
+        if better is not None and better.registers_needed() <= r.registers_needed():
+            r = better
+    return OrderComparison(
+        factor=f,
+        period=ru.period,
+        iteration_period=ru.iteration_period,
+        bound=iteration_bound(g),
+        unfold_retime_size=size_unfold_retime(g, ur.retiming, f),
+        retime_unfold_size=size_retime_unfold(g, r, f),
+        csr_size=size_csr_retime_unfold(g, r, f, mode=csr_mode),
+        registers=r.registers_needed(),
+        csr_mode=csr_mode,
+        m_unfold_retime=ur.retiming.max_value,
+        m_retime_unfold=r.max_value,
+    )
+
+
+def table3_comparison(factors: tuple[int, ...] = (2, 3, 4)) -> list[OrderComparison]:
+    """Order comparison on the Figure-8 DFG at the *optimal* period per
+    factor (both orders achieve the same optimum — Chao & Sha)."""
+    g = get_workload("figure8")
+    return [_compare_orders(g, f, period=None, csr_mode=PER_ITERATION) for f in factors]
+
+
+def table4_comparison(
+    factors: tuple[int, ...] = (2, 3, 4), iteration_period: int = 8
+) -> list[OrderComparison]:
+    """Order comparison on the 4-stage lattice at a fixed iteration period
+    (the paper fixes cycle period 8 per original iteration)."""
+    g = get_workload("lattice")
+    return [
+        _compare_orders(g, f, period=iteration_period * f, csr_mode=PER_COPY)
+        for f in factors
+    ]
+
+
+def format_order_comparison(
+    cols: list[OrderComparison], paper: dict[str, tuple] | None = None
+) -> str:
+    """Tables 3/4-style rendering: approaches as rows, factors as columns."""
+    headers = ["Approach"] + [f"uf={c.factor}" for c in cols]
+    rows: list[list[object]] = [
+        ["unfold-retime"] + [c.unfold_retime_size for c in cols],
+        ["retime-unfold"] + [c.retime_unfold_size for c in cols],
+        ["retime-unfold-CR"] + [c.csr_size for c in cols],
+        ["iteration period"] + [str(c.iteration_period) for c in cols],
+    ]
+    if paper is not None:
+        for label in ("unfold-retime", "retime-unfold", "retime-unfold-CR"):
+            if label in paper:
+                rows.append([f"{label} (paper)"] + list(paper[label]))
+        if "iteration period" in paper:
+            rows.append(["iteration period (paper)"] + list(paper["iteration period"]))
+    return format_table(headers, rows)

@@ -1,0 +1,38 @@
+"""Plain-text table rendering for experiment reports.
+
+Minimal, dependency-free formatting shared by the benchmark harness and the
+example scripts: monospace columns, right-aligned numbers, a separator rule
+under the header.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render ``rows`` under ``headers`` as an aligned monospace table."""
+    materialized = [[_cell(x) for x in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for k, cell in enumerate(row):
+            widths[k] = max(widths[k], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(widths[k]) for k, c in enumerate(cells))
+
+    lines = [fmt_row(list(headers)), fmt_row(["-" * w for w in widths])]
+    lines.extend(fmt_row(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def _cell(x: object) -> str:
+    if isinstance(x, float):
+        return f"{x:.1f}"
+    return str(x)

@@ -1,0 +1,47 @@
+"""Loop-program IR and code generators for every transformed loop form.
+
+Programs for: the original loop, the software-pipelined loop
+(prologue/body/epilogue), the unfolded loop (+ remainder), and the two
+retiming+unfolding orders.  The conditional-register (CSR) forms live in
+:mod:`repro.core`, the executing VM in :mod:`repro.machine`.
+"""
+
+from .c_emitter import emit_c
+from .combined import retimed_unfolded_loop, unfold_retimed_loop
+from .ir import (
+    ComputeInstr,
+    DecInstr,
+    Guard,
+    IndexBase,
+    IndexExpr,
+    Instr,
+    Loop,
+    LoopProgram,
+    Operand,
+    SetupInstr,
+)
+from .original import compute_for_node, original_loop
+from .pipelined import pipelined_loop
+from .printer import format_program
+from .unfolded import unfolded_loop
+
+__all__ = [
+    "emit_c",
+    "retimed_unfolded_loop",
+    "unfold_retimed_loop",
+    "ComputeInstr",
+    "DecInstr",
+    "Guard",
+    "IndexBase",
+    "IndexExpr",
+    "Instr",
+    "Loop",
+    "LoopProgram",
+    "Operand",
+    "SetupInstr",
+    "compute_for_node",
+    "original_loop",
+    "pipelined_loop",
+    "format_program",
+    "unfolded_loop",
+]

@@ -1,0 +1,181 @@
+"""Code generation for loops that are both retimed and unfolded, in either
+order.
+
+**retime-unfold** (:func:`retimed_unfolded_loop`): retime ``G`` by ``r``
+(pipelining the instance space by ``M_r``), then unfold the pipelined steady
+state by ``f``.  Layout::
+
+    prologue            sum_v r(v) instructions          (pre)
+    unfolded body       f * |V| instructions             (loop, step f)
+    leftover iterations ((n - M_r) mod f) * |V|          (post)
+    epilogue            sum_v (M_r - r(v)) instructions  (post)
+
+Total ``(M_r + f) * |V| + leftover * |V|`` — Theorem 4.5's ``S_{r,f}`` with
+the remainder counted relative to the pipelined trip count ``n - M_r``.
+
+**unfold-retime** (:func:`unfold_retimed_loop`): unfold ``G`` into ``G_f``,
+peel the ``n mod f`` remainder instances, then software-pipeline the outer
+loop of ``G_f`` with a retiming ``r'`` *of the copies*.  Every copy may have
+its own retiming value, so prologue/epilogue cost ``M_{r'} * f * |V|`` and
+the total is ``(M_{r'} + 1) * f * |V| + (n mod f) * |V|`` — Theorem 4.4's
+``S_{f,r}``.  This is why the paper recommends retiming *before* unfolding.
+"""
+
+from __future__ import annotations
+
+from ..graph.dfg import DFG, DFGError
+from ..graph.validate import topological_order
+from ..retiming.function import Retiming
+from ..unfolding.unfold import parse_copy_name, unfold
+from .ir import IndexExpr, Instr, Loop, LoopProgram
+from .original import compute_for_node
+
+__all__ = ["retimed_unfolded_loop", "unfold_retimed_loop"]
+
+
+def retimed_unfolded_loop(g: DFG, r: Retiming, f: int, leftover: int = 0) -> LoopProgram:
+    """Retime-then-unfold program for retiming ``r`` (of ``g``), factor
+    ``f`` and pipelined-trip-count residue ``leftover = (n - M_r) mod f``.
+    """
+    if f < 1:
+        raise DFGError(f"unfolding factor must be >= 1, got {f}")
+    if not 0 <= leftover < f:
+        raise DFGError(f"leftover must be in [0, {f}), got {leftover}")
+    r = r.normalized()
+    r.check_legal()
+    retimed = r.apply()
+    order = topological_order(retimed)
+    m_r = r.max_value
+
+    pre: list[Instr] = []
+    for i in range(1 - m_r, 1):
+        for v in order:
+            instance = i + r[v]
+            if instance >= 1:
+                pre.append(compute_for_node(g, v, IndexExpr.const(instance)))
+
+    body: list[Instr] = []
+    for j in range(f):
+        for v in order:
+            body.append(compute_for_node(g, v, IndexExpr.loop(j + r[v])))
+
+    post: list[Instr] = []
+    # Leftover pipelined iterations i = n - M_r - leftover + 1 .. n - M_r.
+    for off in range(-m_r - leftover + 1, -m_r + 1):
+        for v in order:
+            post.append(compute_for_node(g, v, IndexExpr.trip(off + r[v])))
+    # Epilogue iterations i = n - M_r + 1 .. n.
+    for off in range(-m_r + 1, 1):
+        for v in order:
+            if off + r[v] <= 0:
+                post.append(compute_for_node(g, v, IndexExpr.trip(off + r[v])))
+
+    return LoopProgram(
+        name=f"{g.name}.retimed_unfolded_x{f}",
+        pre=tuple(pre),
+        loop=Loop(
+            start=IndexExpr.const(1),
+            end=IndexExpr.trip(-m_r - leftover),
+            step=f,
+            body=tuple(body),
+        ),
+        post=tuple(post),
+        meta={
+            "kind": "retimed-unfolded",
+            "graph": g.name,
+            "retiming": r.as_dict(),
+            "max_retiming": m_r,
+            "factor": f,
+            "residue": leftover,
+            "residue_shift": m_r,  # VM contract: (n - M_r) mod f == leftover
+            "min_n": m_r + leftover,
+        },
+    )
+
+
+def unfold_retimed_loop(g: DFG, r_gf: Retiming, f: int, residue: int = 0) -> LoopProgram:
+    """Unfold-then-retime program.
+
+    ``r_gf`` is a (normalized, legal) retiming of ``unfold(g, f)`` — its
+    keys are copy names ``v#j``.  ``residue = n mod f`` instances are peeled
+    after the pipelined unfolded loop.
+
+    The outer loop variable ``i`` advances by ``f`` per outer iteration;
+    copy ``v#j`` with retiming value ``r'`` computes instance
+    ``i + f * r' + j``.
+    """
+    if f < 1:
+        raise DFGError(f"unfolding factor must be >= 1, got {f}")
+    if not 0 <= residue < f:
+        raise DFGError(f"residue must be in [0, {f}), got {residue}")
+    gf = unfold(g, f)
+    if set(r_gf.graph.node_names()) != set(gf.node_names()):
+        raise DFGError("retiming is not over the unfolded copies of g")
+    r_gf = r_gf.normalized()
+    r_gf.check_legal()
+    retimed_gf = r_gf.apply()
+    order = [parse_copy_name(c) for c in topological_order(retimed_gf)]
+    m = r_gf.max_value
+
+    def rprime(v: str, j: int) -> int:
+        from ..unfolding.unfold import copy_name
+
+        return r_gf[copy_name(v, j)]
+
+    pre: list[Instr] = []
+    # Outer prologue iterations K = 1 - m .. 0; copy (v, j) active when its
+    # outer instance K + r' >= 1; original instance = (K + r' - 1) f + j + 1.
+    for k in range(1 - m, 1):
+        for v, j in order:
+            outer = k + rprime(v, j)
+            if outer >= 1:
+                pre.append(
+                    compute_for_node(g, v, IndexExpr.const((outer - 1) * f + j + 1))
+                )
+
+    body = tuple(
+        compute_for_node(g, v, IndexExpr.loop(f * rprime(v, j) + j)) for v, j in order
+    )
+
+    post: list[Instr] = []
+    # Outer epilogue: K = N_out - m + 1 .. N_out with N_out = (n - residue)/f;
+    # copy active when outer instance o = K + r' <= N_out, i.e. q = o - N_out
+    # in (K + r' - N_out .. 0]; original instance = n - residue + (q-1)f + j + 1.
+    for kq in range(-m + 1, 1):  # K = N_out + kq
+        for v, j in order:
+            q = kq + rprime(v, j)
+            if q <= 0:
+                post.append(
+                    compute_for_node(
+                        g, v, IndexExpr.trip(-residue + (q - 1) * f + j + 1)
+                    )
+                )
+    # Remainder instances n - residue + 1 .. n, in original topo order.
+    g_order = topological_order(g)
+    for off in range(-residue + 1, 1):
+        for v in g_order:
+            post.append(compute_for_node(g, v, IndexExpr.trip(off)))
+
+    # Last outer loop iteration index: i = (N_out - m - 1) f + 1
+    #   = n - residue - (m + 1) f + 1.
+    return LoopProgram(
+        name=f"{g.name}.unfold_retimed_x{f}",
+        pre=tuple(pre),
+        loop=Loop(
+            start=IndexExpr.const(1),
+            end=IndexExpr.trip(-residue - (m + 1) * f + 1),
+            step=f,
+            body=body,
+        ),
+        post=tuple(post),
+        meta={
+            "kind": "unfold-retimed",
+            "graph": g.name,
+            "retiming": r_gf.as_dict(),
+            "max_retiming": m,
+            "factor": f,
+            "residue": residue,
+            "residue_shift": 0,
+            "min_n": residue + (m + 1) * f,
+        },
+    )

@@ -1,0 +1,37 @@
+"""Human-readable listings of loop programs.
+
+Renders a :class:`~repro.codegen.ir.LoopProgram` in the style of the
+paper's code figures (Figures 3, 5, 6, 7), e.g.::
+
+    setup p1 = 0 : -LC
+    ...
+    for i = -2 to n do
+        (p1) A[i+3] = add(E[i-1]; imm=9)
+        p1 = p1 - 1
+        ...
+    end
+
+Used by the examples and by ``repro.analysis`` reports; purely cosmetic.
+"""
+
+from __future__ import annotations
+
+from .ir import LoopProgram
+
+__all__ = ["format_program"]
+
+
+def format_program(program: LoopProgram, indent: str = "    ") -> str:
+    """A complete listing of ``program`` as a string."""
+    lines: list[str] = [f"// {program.name}  (code size = {program.code_size})"]
+    for instr in program.pre:
+        lines.append(str(instr))
+    loop = program.loop
+    step = f" by {loop.step}" if loop.step != 1 else ""
+    lines.append(f"for i = {loop.start} to {loop.end}{step} do")
+    for instr in loop.body:
+        lines.append(f"{indent}{str(instr)}")
+    lines.append("end")
+    for instr in program.post:
+        lines.append(str(instr))
+    return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""Code generation for unfolded (unrolled) loops.
+
+Unfolding by factor ``f`` replicates the loop body ``f`` times; iteration
+``i`` (stepping by ``f``) executes instances ``i + j`` for copies
+``j = 0 .. f-1``.  When the trip count ``n`` is not divisible by ``f``, the
+last ``n mod f`` iterations cannot run inside the unfolded loop and are
+peeled into straight-line *remainder* code after it — ``(n mod f) * |V|``
+extra instructions, the paper's ``Q_f``.
+
+Because the remainder's length depends on ``n mod f``, the generated
+program is specialized on that residue (``meta["residue"]``), exactly as a
+loop-versioning compiler would emit.  The conditional-register form in
+:mod:`repro.core.unfolded_csr` removes the remainder *and* the residue
+specialization with a single register.
+"""
+
+from __future__ import annotations
+
+from ..graph.dfg import DFG, DFGError
+from ..graph.validate import topological_order
+from .ir import IndexExpr, Instr, Loop, LoopProgram
+from .original import compute_for_node
+
+__all__ = ["unfolded_loop"]
+
+
+def unfolded_loop(g: DFG, f: int, residue: int = 0) -> LoopProgram:
+    """The unfolded program for factor ``f`` and trip-count residue
+    ``residue = n mod f``.
+
+    The program is runnable only for trip counts with that residue (checked
+    by the VM via ``meta``).
+    """
+    if f < 1:
+        raise DFGError(f"unfolding factor must be >= 1, got {f}")
+    if not 0 <= residue < f:
+        raise DFGError(f"residue must be in [0, {f}), got {residue}")
+    order = topological_order(g)
+
+    body: list[Instr] = []
+    for j in range(f):
+        for v in order:
+            body.append(compute_for_node(g, v, IndexExpr.loop(j)))
+
+    post: list[Instr] = []
+    for off in range(-residue + 1, 1):  # instances n - residue + 1 .. n
+        for v in order:
+            post.append(compute_for_node(g, v, IndexExpr.trip(off)))
+
+    return LoopProgram(
+        name=f"{g.name}.unfolded_x{f}",
+        pre=(),
+        loop=Loop(
+            start=IndexExpr.const(1),
+            end=IndexExpr.trip(-residue),
+            step=f,
+            body=tuple(body),
+        ),
+        post=tuple(post),
+        meta={
+            "kind": "unfolded",
+            "graph": g.name,
+            "factor": f,
+            "residue": residue,
+            # VM contract: (n - residue_shift) mod factor == residue.
+            "residue_shift": 0,
+            "min_n": residue if residue else 0,
+        },
+    )

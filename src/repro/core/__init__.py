@@ -1,0 +1,71 @@
+"""The paper's primary contribution: the code-size reduction framework.
+
+Conditional-register code generation for retimed loops (Theorems 4.1–4.3),
+unfolded loops (Section 3.3), and retimed-unfolded loops in both orders
+(Theorems 4.6/4.7); the closed-form code-size models of Theorems 4.4/4.5;
+semantic verification by execution; register-constrained retiming; and the
+code-size/performance trade-off explorer.
+"""
+
+from .codesize import (
+    CodeSizeReport,
+    remainder_iterations,
+    report_retimed,
+    report_retimed_unfolded,
+    size_csr_pipelined,
+    size_csr_retime_unfold,
+    size_csr_unfold_retime,
+    size_csr_unfolded,
+    size_original,
+    size_pipelined,
+    size_retime_unfold,
+    size_unfold_retime,
+    size_unfolded,
+)
+from .combined_csr import csr_retimed_unfolded_loop, csr_unfold_retimed_loop
+from .csr import csr_pipelined_loop
+from .partial import RegisterConstrainedResult, limit_registers
+from .predicated import PER_COPY, PER_ITERATION, predicated_program
+from .tradeoff import (
+    TradeoffPoint,
+    best_under_budget,
+    design_space,
+    max_retiming_depth,
+    max_unfolding_factor,
+)
+from .unfolded_csr import csr_unfolded_loop
+from .verify import EquivalenceError, assert_equivalent, equivalent, reference_result
+
+__all__ = [
+    "CodeSizeReport",
+    "remainder_iterations",
+    "report_retimed",
+    "report_retimed_unfolded",
+    "size_csr_pipelined",
+    "size_csr_retime_unfold",
+    "size_csr_unfold_retime",
+    "size_csr_unfolded",
+    "size_original",
+    "size_pipelined",
+    "size_retime_unfold",
+    "size_unfold_retime",
+    "size_unfolded",
+    "csr_retimed_unfolded_loop",
+    "csr_unfold_retimed_loop",
+    "csr_pipelined_loop",
+    "RegisterConstrainedResult",
+    "limit_registers",
+    "PER_COPY",
+    "PER_ITERATION",
+    "predicated_program",
+    "TradeoffPoint",
+    "best_under_budget",
+    "design_space",
+    "max_retiming_depth",
+    "max_unfolding_factor",
+    "csr_unfolded_loop",
+    "EquivalenceError",
+    "assert_equivalent",
+    "equivalent",
+    "reference_result",
+]

@@ -1,0 +1,5 @@
+"""Front-end: parse paper-style loop source into data-flow graphs."""
+
+from .parser import ParseError, parse_loop
+
+__all__ = ["ParseError", "parse_loop"]

@@ -1,0 +1,217 @@
+"""A tiny front-end: parse paper-style loop source into a data-flow graph.
+
+The paper writes loops as indexed-array statements::
+
+    A[i] = E[i-4] + 9
+    B[i] = A[i] * 5
+    C[i] = A[i] + B[i-2]
+    D[i] = A[i] * C[i]
+    E[i] = D[i] + 30
+
+:func:`parse_loop` turns that text (one statement per line; ``#`` or ``//``
+comments; blank lines ignored) into a :class:`~repro.graph.DFG`: one node
+per statement, one edge per array reference, edge delay = the reference's
+backward offset.  Supported right-hand-side shapes map onto the executable
+:class:`~repro.graph.OpKind` semantics:
+
+=========================================  ==========================
+shape                                      node
+=========================================  ==========================
+``r1 + r2 + ... + const``                  ``ADD`` (imm = const sum)
+``r1 * r2 * ... * const``                  ``MUL`` (imm = const product)
+``r1 - r2 - ... - const``                  ``SUB`` (imm = -const sum)
+``r1 * r2 + r3 + ... + const``             ``MAC``
+``r1``  /  ``r1 + const``                  ``COPY``
+``input(const)``                           ``SOURCE``
+=========================================  ==========================
+
+where each ``r`` is a reference ``NAME[i]`` or ``NAME[i-k]`` (``k >= 0``;
+forward references ``[i+k]`` are rejected — they would be negative delays).
+Every array must be assigned exactly once (one node per name); references
+to never-assigned arrays are rejected with a precise message.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..graph.dfg import DFG, DFGError, OpKind
+
+__all__ = ["parse_loop", "ParseError"]
+
+
+class ParseError(DFGError):
+    """Raised with line number and reason for malformed loop source."""
+
+
+_REF = re.compile(r"^([A-Za-z_]\w*)\s*\[\s*i\s*(?:([+-])\s*(\d+)\s*)?\]$")
+_INPUT = re.compile(r"^input\s*\(\s*(-?\d+)\s*\)$")
+
+
+@dataclass(frozen=True)
+class _Ref:
+    array: str
+    delay: int
+
+
+def _parse_term(term: str, lineno: int):
+    """A term is an array reference, an integer literal, or input(k)."""
+    term = term.strip()
+    m = _REF.match(term)
+    if m:
+        name, sign, off = m.groups()
+        delay = int(off or 0)
+        if sign == "+" and delay > 0:
+            raise ParseError(
+                f"line {lineno}: forward reference {term!r} would be a negative delay"
+            )
+        return _Ref(name, delay)
+    if re.fullmatch(r"-?\d+", term):
+        return int(term)
+    raise ParseError(f"line {lineno}: cannot parse term {term!r}")
+
+
+def _split_terms(expr: str, lineno: int) -> list[tuple[str, str]]:
+    """Split ``expr`` into (operator, term) pairs; first operator is '+'.
+
+    Only top-level ``+``, ``-`` and ``*`` are supported (no parentheses —
+    the paper's loop bodies are three-address-ish already).  A sign with no
+    accumulated term to its left is treated as part of the term (unary
+    minus in constants like ``+ -2``).
+    """
+    out: list[tuple[str, str]] = []
+    op = "+"
+    buf: list[str] = []
+    depth = 0
+    for ch in expr:
+        if ch in "[(":
+            depth += 1
+        elif ch in "])":
+            depth -= 1
+        if depth == 0 and ch in "+-*":
+            prev = "".join(buf).strip()
+            if prev:
+                out.append((op, prev))
+                op = ch
+                buf = []
+                continue
+        buf.append(ch)
+    tail = "".join(buf).strip()
+    if not tail:
+        raise ParseError(f"line {lineno}: dangling operator in {expr!r}")
+    out.append((op, tail))
+    return out
+
+
+@dataclass(frozen=True)
+class _Statement:
+    dest: str
+    op: OpKind
+    imm: int
+    refs: tuple[_Ref, ...]
+    lineno: int
+
+
+def _classify(pairs, lineno: int) -> tuple[OpKind, int, tuple[_Ref, ...]]:
+    """Map parsed (operator, term) pairs onto an OpKind + imm + refs."""
+    if len(pairs) == 1:
+        m = _INPUT.match(pairs[0][1].strip())
+        if m:
+            return OpKind.SOURCE, int(m.group(1)), ()
+
+    terms = [(op, _parse_term(t, lineno)) for op, t in pairs]
+    ops = [op for op, _ in terms[1:]]
+    refs = [t for _, t in terms if isinstance(t, _Ref)]
+    consts = [t for _, t in terms if isinstance(t, int)]
+
+    all_plus = all(op == "+" for op in ops)
+    all_star = all(op == "*" for op in ops)
+
+    # r1 * r2 + rest  ->  MAC (needs at least one additive tail term;
+    # a bare product stays a MUL below)
+    if len(ops) >= 2 and ops[0] == "*" and all(o == "+" for o in ops[1:]) and len(refs) >= 2:
+        star_terms = terms[:2]
+        if all(isinstance(t, _Ref) for _, t in star_terms):
+            imm = sum(c for c in consts)
+            return OpKind.MAC, imm, tuple(refs)
+
+    if all_star and ops:
+        if not refs:
+            raise ParseError(f"line {lineno}: constant-only product")
+        imm = 1
+        for c in consts:
+            imm *= c
+        return OpKind.MUL, imm, tuple(refs)
+
+    if all_plus:
+        if not refs:
+            raise ParseError(f"line {lineno}: constant-only expression")
+        imm = sum(consts)
+        if len(refs) == 1 and not consts:
+            return OpKind.COPY, imm, tuple(refs)
+        return OpKind.ADD, imm, tuple(refs)
+
+    # subtraction chain: r1 - r2 - ... - const
+    if ops and all(op == "-" for op in ops):
+        if not refs or not isinstance(terms[0][1], _Ref):
+            raise ParseError(f"line {lineno}: subtraction must start from a reference")
+        imm = -sum(consts)
+        return OpKind.SUB, imm, tuple(refs)
+
+    raise ParseError(
+        f"line {lineno}: unsupported expression shape (ops {ops!r}); see "
+        f"repro.frontend.parser for the supported forms"
+    )
+
+
+def _parse_statement(line: str, lineno: int) -> _Statement:
+    if "=" not in line:
+        raise ParseError(f"line {lineno}: expected 'DEST[i] = expr', got {line!r}")
+    lhs, rhs = line.split("=", 1)
+    m = _REF.match(lhs.strip())
+    if not m or (m.group(3) and int(m.group(3)) != 0):
+        raise ParseError(
+            f"line {lineno}: left-hand side must be 'NAME[i]', got {lhs.strip()!r}"
+        )
+    dest = m.group(1)
+    pairs = _split_terms(rhs.strip(), lineno)
+    op, imm, refs = _classify(pairs, lineno)
+    return _Statement(dest=dest, op=op, imm=imm, refs=refs, lineno=lineno)
+
+
+def parse_loop(source: str, name: str = "loop") -> DFG:
+    """Parse paper-style loop source into a validated :class:`DFG`.
+
+    Statement order in the source is preserved as node insertion order
+    (and therefore as operand order and topological tie-breaking).
+    """
+    statements: list[_Statement] = []
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split("#", 1)[0].split("//", 1)[0].strip().rstrip(";")
+        if not line:
+            continue
+        statements.append(_parse_statement(line, lineno))
+
+    g = DFG(name)
+    seen: dict[str, int] = {}
+    for st in statements:
+        if st.dest in seen:
+            raise ParseError(
+                f"line {st.lineno}: {st.dest!r} already assigned on line {seen[st.dest]}"
+            )
+        seen[st.dest] = st.lineno
+        g.add_node(st.dest, op=st.op, imm=st.imm)
+    for st in statements:
+        for ref in st.refs:
+            if ref.array not in seen:
+                raise ParseError(
+                    f"line {st.lineno}: reference to {ref.array!r}, which is "
+                    f"never assigned in this loop"
+                )
+            g.add_edge(ref.array, st.dest, delay=ref.delay)
+
+    from ..graph.validate import validate
+
+    validate(g)
+    return g

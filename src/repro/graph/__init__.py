@@ -1,0 +1,47 @@
+"""Data-flow-graph substrate: graphs, validation, periods, bounds, W/D.
+
+This package implements everything the paper's Section 2.1 assumes about
+data-flow graphs: the graph structure itself (:class:`~repro.graph.DFG`),
+legality validation, the cycle period and critical paths, the exact
+iteration bound, and the Leiserson–Saxe ``W``/``D`` matrices that drive
+optimal retiming.
+"""
+
+from .critical_cycle import critical_cycle, cycle_stats
+from .dfg import DFG, DFGError, Edge, MODULUS, Node, OpKind, evaluate_op
+from .iteration_bound import (
+    iteration_bound,
+    iteration_bound_exhaustive,
+    minimum_unfolding_for_rate_optimality,
+)
+from .period import alap_times, asap_times, critical_path, cycle_period
+from .validate import is_valid, topological_order, validate
+from .serialize import from_json, to_dot, to_json
+from .wd import distinct_d_values, wd_matrices
+
+__all__ = [
+    "critical_cycle",
+    "cycle_stats",
+    "DFG",
+    "DFGError",
+    "Edge",
+    "Node",
+    "OpKind",
+    "evaluate_op",
+    "MODULUS",
+    "iteration_bound",
+    "iteration_bound_exhaustive",
+    "minimum_unfolding_for_rate_optimality",
+    "alap_times",
+    "asap_times",
+    "critical_path",
+    "cycle_period",
+    "is_valid",
+    "topological_order",
+    "validate",
+    "distinct_d_values",
+    "wd_matrices",
+    "from_json",
+    "to_dot",
+    "to_json",
+]

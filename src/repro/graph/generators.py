@@ -1,0 +1,119 @@
+"""Random data-flow-graph generators.
+
+Used by the property-based test-suite and by the algorithm benchmarks to
+exercise the retiming/unfolding/codegen pipeline on inputs far away from the
+six hand-built DSP benchmarks.  All generators are deterministic functions
+of an explicit :class:`random.Random` instance (no global RNG state).
+
+Every generated graph is a *legal loop body*: delays are non-negative and
+the zero-delay subgraph is acyclic (guaranteed by only ever adding
+zero-delay edges in the forward direction of a fixed node order).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from .dfg import DFG, OpKind
+
+__all__ = ["random_dfg", "random_unit_time_dfg", "line_dfg", "ring_dfg"]
+
+# Operations that accept any number of inputs; used for random nodes so the
+# generator never has to fix up arities.
+_VARIADIC_OPS: Sequence[OpKind] = (OpKind.ADD, OpKind.MUL, OpKind.SUB)
+
+
+def random_dfg(
+    rng: random.Random,
+    num_nodes: int = 6,
+    extra_edges: int = 4,
+    max_delay: int = 3,
+    max_time: int = 1,
+    back_edge_prob: float = 0.5,
+    name: str = "random",
+) -> DFG:
+    """A random legal cyclic DFG.
+
+    Construction: nodes ``n0..n{k-1}`` in a fixed order; a spanning chain of
+    forward edges with random (possibly zero) delays keeps the graph
+    connected; ``extra_edges`` additional edges are added, where forward
+    edges may have any delay in ``[0, max_delay]`` and backward edges (which
+    create cycles) have delay in ``[1, max_delay]`` so the zero-delay
+    subgraph stays acyclic.  With ``back_edge_prob > 0`` the graph is cyclic
+    with high probability.
+    """
+    if num_nodes < 1:
+        raise ValueError("num_nodes must be >= 1")
+    if max_delay < 1:
+        raise ValueError("max_delay must be >= 1")
+    g = DFG(name)
+    names = [f"n{i}" for i in range(num_nodes)]
+    for n in names:
+        g.add_node(
+            n,
+            time=rng.randint(1, max_time),
+            op=rng.choice(_VARIADIC_OPS),
+            imm=rng.randint(-4, 4),
+        )
+    for i in range(1, num_nodes):
+        g.add_edge(names[i - 1], names[i], delay=rng.randint(0, max_delay))
+    for _ in range(extra_edges):
+        i = rng.randrange(num_nodes)
+        j = rng.randrange(num_nodes)
+        if i == j:
+            # Self loop: always needs a delay.
+            g.add_edge(names[i], names[j], delay=rng.randint(1, max_delay))
+        elif i < j and rng.random() >= back_edge_prob:
+            g.add_edge(names[i], names[j], delay=rng.randint(0, max_delay))
+        else:
+            src, dst = (names[max(i, j)], names[min(i, j)])
+            g.add_edge(src, dst, delay=rng.randint(1, max_delay))
+    return g
+
+
+def random_unit_time_dfg(
+    rng: random.Random,
+    num_nodes: int = 6,
+    extra_edges: int = 4,
+    max_delay: int = 3,
+    name: str = "random-unit",
+) -> DFG:
+    """Like :func:`random_dfg` but with unit-time nodes (the paper's setting)."""
+    return random_dfg(
+        rng,
+        num_nodes=num_nodes,
+        extra_edges=extra_edges,
+        max_delay=max_delay,
+        max_time=1,
+        name=name,
+    )
+
+
+def line_dfg(num_nodes: int, delay_last: int = 1, name: str = "line") -> DFG:
+    """A chain ``n0 -> n1 -> ... `` of zero-delay edges plus one feedback
+    edge from the tail to the head carrying ``delay_last`` delays.
+
+    The simplest cyclic graph family; its iteration bound is
+    ``num_nodes / delay_last`` and its cycle period is ``num_nodes``
+    (unit-time nodes), making expected algorithm outputs easy to state in
+    tests.
+    """
+    if num_nodes < 1:
+        raise ValueError("num_nodes must be >= 1")
+    g = DFG(name)
+    names = [f"n{i}" for i in range(num_nodes)]
+    for n in names:
+        g.add_node(n, op=OpKind.ADD, imm=1)
+    for i in range(1, num_nodes):
+        g.add_edge(names[i - 1], names[i], delay=0)
+    g.add_edge(names[-1], names[0], delay=delay_last)
+    return g
+
+
+def ring_dfg(num_nodes: int, total_delay: int, name: str = "ring") -> DFG:
+    """A single cycle of ``num_nodes`` unit-time nodes whose delays sum to
+    ``total_delay``, all placed on the closing edge."""
+    if total_delay < 1:
+        raise ValueError("a cycle needs at least one delay")
+    return line_dfg(num_nodes, delay_last=total_delay, name=name)

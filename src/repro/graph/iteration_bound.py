@@ -1,0 +1,196 @@
+"""Iteration bound of a cyclic data-flow graph.
+
+The *iteration bound* ``B(G) = max_C T(C) / D(C)`` over all cycles ``C``
+(``T`` = total computation time on the cycle, ``D`` = total delay count) is
+the fundamental lower bound on the average time per loop iteration of any
+static schedule.  A schedule is *rate-optimal* when its iteration period
+equals ``B(G)``; when ``B(G)`` is non-integral that can only be achieved by
+unfolding the loop by a factor ``f`` that makes ``f * B(G)`` integral
+(Section 4 of the paper).
+
+Two independent algorithms are provided:
+
+* :func:`iteration_bound` — Lawler-style parametric binary search with a
+  positive-cycle oracle, snapped to an exact rational with bounded
+  denominator and *verified* exactly; near-linear-in-practice and exact.
+* :func:`iteration_bound_exhaustive` — direct enumeration of simple cycles
+  via networkx; exponential in general, used as a cross-check in tests and
+  as a fallback.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from .dfg import DFG, DFGError
+
+__all__ = [
+    "iteration_bound",
+    "iteration_bound_exhaustive",
+    "has_cycle_with_nonneg_weight",
+    "minimum_unfolding_for_rate_optimality",
+]
+
+
+def _edge_weights(g: DFG, lam: Fraction) -> list[tuple[str, str, Fraction]]:
+    """Weighted edge list ``(u, v, t(u) - lam * d)`` for the cycle test.
+
+    Assigning each edge the computation time of its *source* node makes the
+    weight sum of any cycle equal ``T(C) - lam * D(C)``, since every node of
+    a cycle is the source of exactly one of its edges.
+    """
+    return [
+        (e.src, e.dst, Fraction(g.node(e.src).time) - lam * e.delay)
+        for e in g.edges()
+    ]
+
+
+def _has_positive_cycle(g: DFG, lam: Fraction, strict: bool) -> bool:
+    """Does a cycle with weight ``> 0`` (or ``>= 0`` if not strict) exist?
+
+    Bellman–Ford longest-path relaxation from a virtual super-source (all
+    distances start at 0, so cycles anywhere in the graph are found).  A
+    cycle of weight exactly zero does not cause divergence under strict
+    inequality relaxation, so ``strict=True``/``False`` distinguish
+    ``T - lam D > 0`` from ``T - lam D >= 0``.
+    """
+    edges = _edge_weights(g, lam)
+    if not strict:
+        # Detect weight >= 0 cycles by nudging every edge up by an epsilon
+        # smaller than any achievable gap: with integral T and D and
+        # lam = p/q, cycle weights are multiples of 1/q, so eps = 1/(2q*|V|)
+        # per edge keeps total perturbation below 1/(2q) around zero.
+        q = lam.denominator
+        eps = Fraction(1, 2 * q * max(1, g.num_edges))
+        edges = [(u, v, w + eps) for (u, v, w) in edges]
+
+    dist: dict[str, Fraction] = {n: Fraction(0) for n in g.node_names()}
+    n = g.num_nodes
+    for _ in range(n - 1):
+        changed = False
+        for u, v, w in edges:
+            cand = dist[u] + w
+            if cand > dist[v]:
+                dist[v] = cand
+                changed = True
+        if not changed:
+            return False
+    for u, v, w in edges:
+        if dist[u] + w > dist[v]:
+            return True
+    return False
+
+
+def has_cycle_with_nonneg_weight(g: DFG, lam: Fraction) -> bool:
+    """Whether some cycle satisfies ``T(C) - lam * D(C) >= 0``.
+
+    This is exactly the condition ``B(G) >= lam``.
+    """
+    return _has_positive_cycle(g, lam, strict=False)
+
+
+def iteration_bound(g: DFG) -> Fraction:
+    """Exact iteration bound ``max_C T(C)/D(C)`` as a :class:`Fraction`.
+
+    Returns ``Fraction(0)`` for acyclic graphs (no cycle constrains the
+    rate).  Raises :class:`DFGError` if the graph has a zero-delay cycle
+    (such graphs have no legal schedule at all).
+    """
+    from .validate import validate
+
+    validate(g)
+
+    total_delay = g.total_delay
+    if total_delay == 0:
+        # validate() guarantees no zero-delay cycle, so with no delays at
+        # all the graph is acyclic.
+        return Fraction(0)
+
+    # Quick acyclicity check: if no cycle at lam=0 exists (i.e. no cycle at
+    # all, since weights are then all positive node times), bound is 0.
+    if not _has_positive_cycle(g, Fraction(0), strict=True):
+        return Fraction(0)
+
+    lo = Fraction(0)  # B > 0 here: some cycle exists
+    hi = Fraction(g.total_time)  # T(C) <= total_time, D(C) >= 1
+    # Distinct candidate ratios have denominators <= total_delay, so once
+    # the bracket is narrower than 1/total_delay^2 only one candidate fits.
+    resolution = Fraction(1, 2 * total_delay * total_delay)
+    while hi - lo > resolution:
+        mid = (lo + hi) / 2
+        if _has_positive_cycle(g, mid, strict=True):
+            lo = mid
+        else:
+            hi = mid
+
+    candidate = ((lo + hi) / 2).limit_denominator(total_delay)
+    if _verify_bound(g, candidate):
+        return candidate
+
+    # Extremely defensive fallback; unreachable for well-formed inputs but
+    # keeps the function total.
+    return iteration_bound_exhaustive(g)
+
+
+def _verify_bound(g: DFG, lam: Fraction) -> bool:
+    """``lam`` is the iteration bound iff a zero-weight cycle exists and no
+    positive-weight cycle exists at ``lam``."""
+    return has_cycle_with_nonneg_weight(g, lam) and not _has_positive_cycle(
+        g, lam, strict=True
+    )
+
+
+def iteration_bound_exhaustive(g: DFG) -> Fraction:
+    """Iteration bound via explicit simple-cycle enumeration (networkx).
+
+    Exponential in the worst case; intended for small graphs and as a
+    ground-truth oracle in the test-suite.
+    """
+    import networkx as nx
+
+    nxg = nx.DiGraph()
+    nxg.add_nodes_from(g.node_names())
+    # Collapse parallel edges to their minimum delay: for maximizing
+    # T(C)/D(C), only the smallest-delay parallel edge can be on a critical
+    # cycle.
+    min_delay: dict[tuple[str, str], int] = {}
+    for e in g.edges():
+        k = (e.src, e.dst)
+        if k not in min_delay or e.delay < min_delay[k]:
+            min_delay[k] = e.delay
+    for (u, v), d in min_delay.items():
+        nxg.add_edge(u, v, delay=d)
+
+    best = Fraction(0)
+    found = False
+    for cycle in nx.simple_cycles(nxg):
+        time = sum(g.node(n).time for n in cycle)
+        delay = sum(
+            nxg.edges[cycle[i], cycle[(i + 1) % len(cycle)]]["delay"]
+            for i in range(len(cycle))
+        )
+        if delay == 0:
+            raise DFGError(f"zero-delay cycle through {sorted(cycle)}")
+        ratio = Fraction(time, delay)
+        if not found or ratio > best:
+            best, found = ratio, True
+    return best
+
+
+def minimum_unfolding_for_rate_optimality(g: DFG, max_factor: int = 64) -> int:
+    """Smallest unfolding factor ``f`` with ``f * B(G)`` integral.
+
+    A rate-optimal *integral* cycle period for the unfolded graph requires
+    ``f * B(G)`` to be an integer; the smallest such ``f`` is the
+    denominator of the iteration bound.  ``max_factor`` guards against
+    pathological graphs.
+    """
+    bound = iteration_bound(g)
+    if bound == 0:
+        return 1
+    f = bound.denominator
+    if f > max_factor:
+        raise DFGError(
+            f"rate-optimality needs unfolding factor {f} > max_factor={max_factor}"
+        )
+    return f

@@ -1,0 +1,96 @@
+"""Cycle period and critical paths of a data-flow graph.
+
+The *cycle period* ``Phi(G)`` of a DFG is the total computation time of the
+longest zero-delay path in the graph (Section 2.1 of the paper).  With
+unlimited resources it equals the minimum static schedule length of one
+iteration of the loop body; retiming minimizes it by redistributing delays.
+"""
+
+from __future__ import annotations
+
+from .dfg import DFG
+from .validate import topological_order
+
+__all__ = ["cycle_period", "critical_path", "asap_times", "alap_times"]
+
+
+def asap_times(g: DFG) -> dict[str, int]:
+    """As-soon-as-possible start times over zero-delay dependencies.
+
+    ``asap[v]`` is the earliest control step (0-based time unit) at which
+    node ``v`` can start within one iteration, honouring every zero-delay
+    edge ``u -> v`` (``v`` starts no earlier than ``asap[u] + t(u)``).
+    """
+    start: dict[str, int] = {}
+    for name in topological_order(g):
+        best = 0
+        for e in g.in_edges(name):
+            if e.delay == 0:
+                cand = start[e.src] + g.node(e.src).time
+                if cand > best:
+                    best = cand
+        start[name] = best
+    return start
+
+
+def alap_times(g: DFG, horizon: int | None = None) -> dict[str, int]:
+    """As-late-as-possible start times within ``horizon`` time units.
+
+    ``horizon`` defaults to the cycle period, in which case nodes on a
+    critical path have identical ASAP/ALAP times (zero slack).
+    """
+    if horizon is None:
+        horizon = cycle_period(g)
+    start: dict[str, int] = {}
+    for name in reversed(topological_order(g)):
+        best = horizon - g.node(name).time
+        for e in g.out_edges(name):
+            if e.delay == 0:
+                cand = start[e.dst] - g.node(name).time
+                if cand < best:
+                    best = cand
+        start[name] = best
+    return start
+
+
+def cycle_period(g: DFG) -> int:
+    """The cycle period ``Phi(G)``: longest zero-delay path time.
+
+    Equals ``max_v (asap(v) + t(v))`` — the completion time of the latest
+    node in an unconstrained intra-iteration schedule.
+    """
+    start = asap_times(g)
+    return max(start[v.name] + v.time for v in g.nodes())
+
+
+def critical_path(g: DFG) -> list[str]:
+    """One longest zero-delay path, as a list of node names.
+
+    Deterministic: among equal-length choices, the node that was inserted
+    first into the graph wins.  Useful for critical-path-driven retiming
+    heuristics and for diagnostics.
+    """
+    start = asap_times(g)
+    # Find the sink of a critical path.
+    period = cycle_period(g)
+    position = {name: i for i, name in enumerate(g.node_names())}
+    sinks = [v.name for v in g.nodes() if start[v.name] + v.time == period]
+    tail = min(sinks, key=lambda n: position[n])
+
+    path = [tail]
+    while True:
+        node = path[0]
+        want = start[node]
+        if want == 0:
+            # Might still have a zero-delay predecessor chain of sources with
+            # time summing to zero — impossible since times are >= 1.
+            break
+        preds = [
+            e.src
+            for e in g.in_edges(node)
+            if e.delay == 0 and start[e.src] + g.node(e.src).time == want
+        ]
+        if not preds:
+            break
+        path.insert(0, min(preds, key=lambda n: position[n]))
+    return path

@@ -1,0 +1,71 @@
+"""Structural validation of data-flow graphs.
+
+A DFG is a *legal loop body* when
+
+1. every edge delay is non-negative (guaranteed by construction),
+2. the zero-delay subgraph is acyclic — otherwise an iteration would depend
+   on its own results and no static schedule exists, and
+3. node computation times are positive (guaranteed by construction).
+
+:func:`validate` checks the non-constructive invariants and raises
+:class:`~repro.graph.dfg.DFGError` with a precise message on violation.
+:func:`topological_order` returns a deterministic topological order of the
+zero-delay subgraph — the canonical *intra-iteration execution order* used
+by all code generators in :mod:`repro.codegen`.
+"""
+
+from __future__ import annotations
+
+from .dfg import DFG, DFGError
+
+__all__ = ["validate", "topological_order", "is_valid"]
+
+
+def topological_order(g: DFG) -> list[str]:
+    """Topological order of nodes w.r.t. zero-delay edges.
+
+    Ties are broken by node insertion order, so the result is deterministic
+    for a given graph.  Raises :class:`DFGError` if the zero-delay subgraph
+    contains a cycle (the graph is then not schedulable).
+    """
+    indeg: dict[str, int] = {n: 0 for n in g.node_names()}
+    succs: dict[str, list[str]] = {n: [] for n in g.node_names()}
+    for e in g.zero_delay_edges():
+        indeg[e.dst] += 1
+        succs[e.src].append(e.dst)
+
+    # Kahn's algorithm with a deterministic ready list (insertion order).
+    order: list[str] = []
+    ready = [n for n in g.node_names() if indeg[n] == 0]
+    while ready:
+        n = ready.pop(0)
+        order.append(n)
+        newly_ready = []
+        for s in succs[n]:
+            indeg[s] -= 1
+            if indeg[s] == 0:
+                newly_ready.append(s)
+        # Preserve global insertion order among newly ready nodes.
+        position = {name: i for i, name in enumerate(g.node_names())}
+        ready.extend(newly_ready)
+        ready.sort(key=lambda name: position[name])
+    if len(order) != g.num_nodes:
+        cyclic = sorted(set(g.node_names()) - set(order))
+        raise DFGError(f"zero-delay cycle through nodes {cyclic}")
+    return order
+
+
+def validate(g: DFG) -> None:
+    """Check that ``g`` is a legal loop body; raise :class:`DFGError` if not."""
+    if g.num_nodes == 0:
+        raise DFGError("graph has no nodes")
+    topological_order(g)  # raises on zero-delay cycles
+
+
+def is_valid(g: DFG) -> bool:
+    """Boolean form of :func:`validate`."""
+    try:
+        validate(g)
+    except DFGError:
+        return False
+    return True

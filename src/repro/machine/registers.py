@@ -1,0 +1,88 @@
+"""Conditional (predicate) register file.
+
+Implements the paper's Section 3.1 semantics: a conditional register holds a
+small integer; a guarded instruction with guard ``(p, offset)`` executes iff
+
+    -LC < p + offset <= 0
+
+where ``LC`` is the original loop trip count (the paper's ``setup p = v :
+-LC`` boundary, "the comparison between the value of conditional register
+and the negative loop counter is implemented by hardware").  Registers are
+modified only by ``setup`` (initialize) and explicit decrement instructions.
+"""
+
+from __future__ import annotations
+
+from ..graph.dfg import DFGError
+from ..codegen.ir import Guard
+
+__all__ = ["ConditionalRegisterFile", "MachineError"]
+
+
+class MachineError(DFGError):
+    """Raised for invalid machine operations (unknown register, bad trip count)."""
+
+
+class ConditionalRegisterFile:
+    """The set of conditional registers of the virtual DSP machine.
+
+    The file size is unbounded by default; pass ``capacity`` to model an
+    architecture with a fixed number of predicate registers (the paper's
+    ``P_r`` resource) — ``setup`` of a fresh register beyond the capacity
+    raises :class:`MachineError`, which the register-constrained experiments
+    rely on.
+    """
+
+    def __init__(self, trip_count: int, capacity: int | None = None) -> None:
+        if trip_count < 0:
+            raise MachineError(f"trip count must be >= 0, got {trip_count}")
+        if capacity is not None and capacity < 0:
+            raise MachineError(f"capacity must be >= 0, got {capacity}")
+        self._n = trip_count
+        self._capacity = capacity
+        self._values: dict[str, int] = {}
+
+    @property
+    def trip_count(self) -> int:
+        """The ``LC`` boundary shared by every register."""
+        return self._n
+
+    def setup(self, register: str, init: int) -> None:
+        """Execute ``setup register = init : -LC``."""
+        if (
+            self._capacity is not None
+            and register not in self._values
+            and len(self._values) >= self._capacity
+        ):
+            raise MachineError(
+                f"conditional register file exhausted: cannot allocate "
+                f"{register!r} beyond capacity {self._capacity}"
+            )
+        self._values[register] = init
+
+    def decrement(self, register: str, amount: int = 1) -> None:
+        """Execute ``register = register - amount``."""
+        if register not in self._values:
+            raise MachineError(f"decrement of register {register!r} before setup")
+        self._values[register] -= amount
+
+    def value(self, register: str) -> int:
+        """Current value of ``register``."""
+        try:
+            return self._values[register]
+        except KeyError:
+            raise MachineError(f"read of register {register!r} before setup") from None
+
+    def is_active(self, guard: Guard | None) -> bool:
+        """Whether a guarded instruction executes right now.
+
+        Unguarded instructions (``guard is None``) always execute.
+        """
+        if guard is None:
+            return True
+        p = self.value(guard.register) + guard.offset
+        return -self._n < p <= 0
+
+    def snapshot(self) -> dict[str, int]:
+        """Current register values (for traces and tests)."""
+        return dict(self._values)

@@ -1,0 +1,51 @@
+"""Execution traces of the virtual machine.
+
+A trace records, in execution order, every *executed* compute instruction
+(disabled guarded instructions are recorded separately), which lets tests
+assert not only final array equality but also execution-order properties —
+e.g. that instance ``m`` of a producer runs before its consumers, the
+substance of the paper's Theorems 4.1/4.2/4.6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TraceEvent", "ExecutionTrace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One executed compute: node name, instance written, region of origin.
+
+    ``region`` is ``"pre"``, ``"body"`` or ``"post"``; ``i`` is the loop
+    variable value for body events and ``None`` elsewhere.
+    """
+
+    node: str
+    instance: int
+    region: str
+    i: int | None
+
+
+@dataclass
+class ExecutionTrace:
+    """Ordered record of one program execution."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+    disabled: int = 0  # guarded computes whose predicate was off
+
+    def record(self, node: str, instance: int, region: str, i: int | None) -> None:
+        """Append one executed compute."""
+        self.events.append(TraceEvent(node=node, instance=instance, region=region, i=i))
+
+    def order_of(self) -> dict[tuple[str, int], int]:
+        """Map ``(node, instance) -> position`` in execution order."""
+        return {(e.node, e.instance): k for k, e in enumerate(self.events)}
+
+    def instances_of(self, node: str) -> list[int]:
+        """Instances of ``node`` in execution order."""
+        return [e.instance for e in self.events if e.node == node]
+
+    def __len__(self) -> int:
+        return len(self.events)

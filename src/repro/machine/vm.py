@@ -1,0 +1,158 @@
+"""The virtual DSP machine: executes loop programs with conditional registers.
+
+This is the substrate that stands in for the paper's TMS320C6000-class
+hardware.  It executes a :class:`~repro.codegen.ir.LoopProgram` for a
+concrete trip count ``n`` and returns the full array state, enforcing two
+invariants that turn execution into a semantic proof:
+
+* **single assignment** — every array instance is written at most once
+  (a transformation that computed an instance twice, or whose guards failed
+  to disable an out-of-range copy, dies loudly);
+* **range discipline** — writes land only in instances ``1 .. n``.
+
+Array reads of never-written instances return deterministic *initial
+values* (the loop's live-in state, e.g. ``B[-1]`` in the paper's figures),
+so programs are comparable even across transformations that read different
+out-of-range instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..codegen.ir import ComputeInstr, DecInstr, Instr, LoopProgram, SetupInstr
+from ..graph.dfg import evaluate_op
+from .registers import ConditionalRegisterFile, MachineError
+from .trace import ExecutionTrace
+
+__all__ = ["VMResult", "run_program", "default_initial", "MachineError"]
+
+
+def default_initial(array: str, index: int) -> int:
+    """Deterministic initial value of ``array[index]`` (live-in state).
+
+    A fixed polynomial in a stable per-name seed and the index — the same
+    across processes and Python versions (unlike built-in ``hash``).
+    """
+    seed = 0
+    for ch in array:
+        seed = (seed * 131 + ord(ch)) % 1_000_003
+    return seed * 31 + index * 7 + 1
+
+
+@dataclass
+class VMResult:
+    """Outcome of one program execution.
+
+    Attributes
+    ----------
+    arrays:
+        ``array name -> {instance -> value}`` for every *written* instance.
+    executed:
+        Number of compute instructions that actually executed.
+    disabled:
+        Number of guarded computes whose predicate was off.
+    trace:
+        Full execution trace when tracing was requested, else ``None``.
+    """
+
+    arrays: dict[str, dict[int, int]]
+    executed: int
+    disabled: int
+    trace: ExecutionTrace | None = None
+
+    def written(self, array: str) -> dict[int, int]:
+        """Written instances of one array (empty dict if none)."""
+        return self.arrays.get(array, {})
+
+
+def _check_meta(program: LoopProgram, n: int) -> None:
+    meta = program.meta
+    min_n = meta.get("min_n")
+    if min_n is not None and n < min_n:
+        raise MachineError(
+            f"{program.name}: trip count {n} below the program's minimum {min_n}"
+        )
+    factor = meta.get("factor")
+    residue = meta.get("residue")
+    if factor and residue is not None:
+        shift = meta.get("residue_shift", 0)
+        if (n - shift) % factor != residue:
+            raise MachineError(
+                f"{program.name}: trip count {n} has residue "
+                f"{(n - shift) % factor} (mod {factor}, shifted by {shift}), "
+                f"but the program was specialized for residue {residue}"
+            )
+
+
+def run_program(
+    program: LoopProgram,
+    n: int,
+    initial: Callable[[str, int], int] = default_initial,
+    trace: bool = False,
+    register_capacity: int | None = None,
+) -> VMResult:
+    """Execute ``program`` with trip count ``n`` and return the array state.
+
+    ``register_capacity`` bounds the conditional register file (see
+    :class:`~repro.machine.registers.ConditionalRegisterFile`);
+    ``initial`` supplies live-in array values.
+    """
+    if n < 0:
+        raise MachineError(f"trip count must be >= 0, got {n}")
+    _check_meta(program, n)
+
+    regs = ConditionalRegisterFile(trip_count=n, capacity=register_capacity)
+    arrays: dict[str, dict[int, int]] = {}
+    tr = ExecutionTrace() if trace else None
+    executed = 0
+    disabled = 0
+
+    def read(array: str, index: int) -> int:
+        store = arrays.get(array)
+        if store is not None and index in store:
+            return store[index]
+        return initial(array, index)
+
+    def execute(instr: Instr, i: int | None, region: str) -> None:
+        nonlocal executed, disabled
+        if isinstance(instr, SetupInstr):
+            regs.setup(instr.register, instr.init)
+            return
+        if isinstance(instr, DecInstr):
+            regs.decrement(instr.register, instr.amount)
+            return
+        assert isinstance(instr, ComputeInstr)
+        if not regs.is_active(instr.guard):
+            disabled += 1
+            if tr is not None:
+                tr.disabled += 1
+            return
+        dest_index = instr.dest.index.resolve(i, n)
+        if not 1 <= dest_index <= n:
+            raise MachineError(
+                f"{program.name}: write to {instr.dest.array}[{dest_index}] "
+                f"outside 1..{n} (instruction: {instr})"
+            )
+        store = arrays.setdefault(instr.dest.array, {})
+        if dest_index in store:
+            raise MachineError(
+                f"{program.name}: {instr.dest.array}[{dest_index}] computed twice "
+                f"(instruction: {instr})"
+            )
+        values = [read(s.array, s.index.resolve(i, n)) for s in instr.srcs]
+        store[dest_index] = evaluate_op(instr.op, instr.imm, values, dest_index)
+        executed += 1
+        if tr is not None:
+            tr.record(instr.dest.array, dest_index, region, i)
+
+    for instr in program.pre:
+        execute(instr, None, "pre")
+    for i in program.loop.iter_indices(n):
+        for instr in program.loop.body:
+            execute(instr, i, "body")
+    for instr in program.post:
+        execute(instr, None, "post")
+
+    return VMResult(arrays=arrays, executed=executed, disabled=disabled, trace=tr)

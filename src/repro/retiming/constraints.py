@@ -1,0 +1,97 @@
+"""Systems of difference constraints and their Bellman–Ford solver.
+
+Retiming feasibility questions ("is there a legal retiming?", "is there a
+retiming achieving cycle period ``c``?") reduce to systems of *difference
+constraints* of the form ``x(a) - x(b) <= c``.  Such a system is satisfiable
+iff its *constraint graph* — an edge ``b -> a`` of weight ``c`` per
+constraint — has no negative cycle, and single-source shortest-path
+distances from a virtual source then provide an integral solution
+[Cormen et al., ch. "Difference constraints and shortest paths"].
+
+The solver here is a plain Bellman–Ford with early exit, entirely
+self-contained so the retiming engine has no dependency on networkx.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+__all__ = ["DifferenceConstraints"]
+
+
+class DifferenceConstraints:
+    """A mutable collection of ``x(a) - x(b) <= c`` constraints.
+
+    Variables are arbitrary hashable objects, created implicitly on first
+    mention.  Duplicate ``(a, b)`` pairs are tightened to the minimum bound
+    (the binding constraint), keeping the constraint graph small.
+    """
+
+    def __init__(self) -> None:
+        self._bounds: dict[tuple[Hashable, Hashable], int] = {}
+        self._vars: dict[Hashable, None] = {}
+
+    def add(self, a: Hashable, b: Hashable, c: int) -> None:
+        """Require ``x(a) - x(b) <= c``."""
+        self._vars.setdefault(a, None)
+        self._vars.setdefault(b, None)
+        key = (a, b)
+        if key not in self._bounds or c < self._bounds[key]:
+            self._bounds[key] = c
+
+    def add_variable(self, a: Hashable) -> None:
+        """Declare a variable without constraining it."""
+        self._vars.setdefault(a, None)
+
+    @property
+    def num_constraints(self) -> int:
+        """Number of (tightened) constraints."""
+        return len(self._bounds)
+
+    @property
+    def variables(self) -> list[Hashable]:
+        """All declared variables, in first-mention order."""
+        return list(self._vars)
+
+    def solve(self) -> dict[Hashable, int] | None:
+        """An integral solution, or ``None`` if the system is infeasible.
+
+        The returned solution is the shortest-path solution from a virtual
+        source (every variable reachable at distance 0), i.e. the pointwise
+        *maximum* solution with values ``<= 0``.
+        """
+        dist: dict[Hashable, int] = {v: 0 for v in self._vars}
+        # Constraint x(a) - x(b) <= c is the relaxation edge b -> a, w = c.
+        edges = [(b, a, c) for (a, b), c in self._bounds.items()]
+        n = len(dist)
+        for _ in range(max(0, n - 1)):
+            changed = False
+            for b, a, c in edges:
+                cand = dist[b] + c
+                if cand < dist[a]:
+                    dist[a] = cand
+                    changed = True
+            if not changed:
+                break
+        else:
+            # Ran all n-1 passes with changes; must verify convergence below.
+            pass
+        for b, a, c in edges:
+            if dist[b] + c < dist[a]:
+                return None  # negative cycle: infeasible
+        return dist
+
+    def is_feasible(self) -> bool:
+        """Whether a solution exists."""
+        return self.solve() is not None
+
+    def check(self, assignment: dict[Hashable, int]) -> bool:
+        """Whether ``assignment`` satisfies every constraint."""
+        return all(
+            assignment[a] - assignment[b] <= c for (a, b), c in self._bounds.items()
+        )
+
+    def constraints(self) -> Iterable[tuple[Hashable, Hashable, int]]:
+        """Iterate over ``(a, b, c)`` triples meaning ``x(a) - x(b) <= c``."""
+        for (a, b), c in self._bounds.items():
+            yield a, b, c

@@ -1,0 +1,54 @@
+"""Incremental, node-at-a-time retiming operations.
+
+Rotation scheduling (:mod:`repro.schedule.rotation`) and critical-path
+retiming heuristics do not solve a global constraint system; they repeatedly
+*push* single delays through individual nodes.  In the paper's sign
+convention, pushing one delay through node ``v`` (drawing it from every
+incoming edge, emitting it on every outgoing edge) is ``r(v) += 1`` and is
+legal exactly when every incoming edge of the *current* retimed graph
+carries at least one delay.
+"""
+
+from __future__ import annotations
+
+from ..graph.dfg import DFG
+from .function import Retiming, RetimingError
+
+__all__ = ["can_push", "push_nodes", "pushable_nodes"]
+
+
+def can_push(retimed: DFG, nodes: set[str] | frozenset[str]) -> bool:
+    """Whether simultaneously pushing one delay through every node of
+    ``nodes`` is legal on the (already retimed) graph ``retimed``.
+
+    A delay is drawn from each edge entering the set from outside and
+    emitted on each edge leaving it; edges wholly inside the set are
+    unaffected.  Legal iff every entering edge carries at least one delay.
+    """
+    for name in nodes:
+        for e in retimed.in_edges(name):
+            if e.src not in nodes and e.delay < 1:
+                return False
+    return True
+
+
+def pushable_nodes(retimed: DFG) -> list[str]:
+    """Nodes through which a single delay can be pushed individually."""
+    return [n for n in retimed.node_names() if can_push(retimed, {n})]
+
+
+def push_nodes(r: Retiming, nodes: set[str] | frozenset[str], amount: int = 1) -> Retiming:
+    """Return ``r`` with ``amount`` added to every node in ``nodes``.
+
+    Raises :class:`RetimingError` if the result is illegal.  ``amount`` may
+    be negative (pulling delays back), which rotation scheduling uses to
+    undo unprofitable rotations.
+    """
+    values = r.as_dict()
+    for n in nodes:
+        if n not in values:
+            raise RetimingError(f"unknown node {n!r}")
+        values[n] += amount
+    new_r = Retiming(r.graph, values)
+    new_r.check_legal()
+    return new_r

@@ -1,0 +1,93 @@
+"""Optimal retiming: minimum cycle period via the Leiserson–Saxe reduction.
+
+``retime_for_period(G, c)`` answers "is there a legal retiming with cycle
+period ``<= c``" constructively, by solving the difference-constraint system
+
+* ``r(v) - r(u) <= d(e)``               for every edge ``e(u -> v)``
+  (legality: retimed delays stay non-negative — recall this paper's sign
+  convention ``d_r(e) = d(e) + r(u) - r(v)``), and
+* ``r(v) - r(u) <= W(u, v) - 1``        for every pair with ``D(u, v) > c``
+  (every minimum-delay path from ``u`` to ``v`` must retain a delay,
+  breaking all zero-delay paths longer than ``c``).
+
+``minimize_cycle_period(G)`` binary-searches the sorted distinct values of
+the ``D`` matrix — the optimum is always one of them — and returns the
+minimum period together with a witnessing *normalized* retiming.
+"""
+
+from __future__ import annotations
+
+from ..graph.dfg import DFG
+from ..graph.period import cycle_period
+from ..graph.wd import wd_matrices
+from .constraints import DifferenceConstraints
+from .function import Retiming
+
+__all__ = ["retime_for_period", "minimize_cycle_period", "minimum_cycle_period"]
+
+
+def retime_for_period(g: DFG, c: int) -> Retiming | None:
+    """A normalized legal retiming of ``g`` with cycle period ``<= c``,
+    or ``None`` if none exists.
+
+    Nodes with computation time ``t(v) > c`` make any period ``<= c``
+    impossible regardless of retiming; that case returns ``None``
+    immediately.
+    """
+    if any(v.time > c for v in g.nodes()):
+        return None
+
+    W, D = wd_matrices(g)
+    system = DifferenceConstraints()
+    for n in g.node_names():
+        system.add_variable(n)
+    for e in g.edges():
+        system.add(e.dst, e.src, e.delay)
+    for (u, v), d_val in D.items():
+        if d_val > c:
+            system.add(v, u, W[(u, v)] - 1)
+
+    solution = system.solve()
+    if solution is None:
+        return None
+    r = Retiming(g, {n: int(val) for n, val in solution.items()}).normalized()
+    # The reduction is exact, but verify anyway — cheap and makes the
+    # function's contract self-checking.
+    retimed = r.apply()
+    assert cycle_period(retimed) <= c, "internal error: LS reduction violated"
+    return r
+
+
+def minimize_cycle_period(g: DFG) -> tuple[int, Retiming]:
+    """The minimum cycle period achievable by retiming, with a witness.
+
+    Binary search over the sorted distinct ``D``-matrix values (the optimum
+    is one of them, by Leiserson–Saxe Theorem 8 adapted to this sign
+    convention).  The returned retiming is normalized.
+    """
+    from ..graph.wd import distinct_d_values
+
+    candidates = distinct_d_values(g)
+    lo, hi = 0, len(candidates) - 1
+    best: tuple[int, Retiming] | None = None
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        c = candidates[mid]
+        r = retime_for_period(g, c)
+        if r is not None:
+            best = (c, r)
+            hi = mid - 1
+        else:
+            lo = mid + 1
+    if best is None:  # pragma: no cover - cannot happen for legal graphs
+        raise AssertionError("no feasible cycle period found; graph is illegal")
+    # The optimum is the *achieved* period of the witness, which can be
+    # strictly below the candidate bound that the search proved feasible.
+    c, r = best
+    achieved = cycle_period(r.apply())
+    return achieved, r
+
+
+def minimum_cycle_period(g: DFG) -> int:
+    """Just the minimum achievable cycle period (no witness)."""
+    return minimize_cycle_period(g)[0]

@@ -1,0 +1,66 @@
+"""Rate-optimality analysis for retimed loops.
+
+A static schedule is *rate-optimal* when its iteration period equals the
+iteration bound ``B(G)`` (Section 2.1).  Retiming alone produces integral
+iteration periods (the cycle period of the retimed graph), so:
+
+* if ``B(G)`` is integral, retiming can be rate-optimal — and the
+  Leiserson–Saxe optimum from :mod:`repro.retiming.optimal` achieves it for
+  unit-time graphs;
+* if ``B(G)`` is fractional, rate-optimality additionally requires
+  unfolding by (a multiple of) the denominator of ``B(G)``
+  (see :func:`repro.graph.minimum_unfolding_for_rate_optimality` and
+  :mod:`repro.unfolding.orders`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..graph.dfg import DFG
+from ..graph.iteration_bound import iteration_bound
+from .function import Retiming
+from .optimal import minimize_cycle_period
+
+__all__ = ["RateOptimalResult", "rate_optimal_retiming"]
+
+
+@dataclass(frozen=True)
+class RateOptimalResult:
+    """Outcome of retiming ``graph`` for the best achievable rate.
+
+    Attributes
+    ----------
+    retiming:
+        Normalized retiming achieving ``period``.
+    period:
+        Minimum cycle period achievable by retiming alone.
+    bound:
+        The iteration bound ``B(G)``.
+    is_rate_optimal:
+        ``period == bound`` — only possible when the bound is integral.
+    required_unfolding:
+        Smallest unfolding factor that makes ``f * B(G)`` integral, i.e.
+        the factor needed for a rate-optimal unfolded schedule (1 when the
+        bound is already integral).
+    """
+
+    retiming: Retiming
+    period: int
+    bound: Fraction
+    is_rate_optimal: bool
+    required_unfolding: int
+
+
+def rate_optimal_retiming(g: DFG) -> RateOptimalResult:
+    """Retime ``g`` for minimum cycle period and report rate-optimality."""
+    period, r = minimize_cycle_period(g)
+    bound = iteration_bound(g)
+    return RateOptimalResult(
+        retiming=r,
+        period=period,
+        bound=bound,
+        is_rate_optimal=(bound == period),
+        required_unfolding=1 if bound == 0 else bound.denominator,
+    )

@@ -1,0 +1,56 @@
+"""Schedule legality checking.
+
+A static schedule of a DFG is legal when
+
+1. every zero-delay edge ``u -> v`` satisfies
+   ``start(v) >= start(u) + t(u)`` (intra-iteration precedence), and
+2. at every control step, the number of simultaneously running nodes of
+   each unit kind does not exceed the resource model's capacity.
+
+(Inter-iteration edges — those carrying delays — impose no constraint on a
+single-iteration schedule; their producers ran in earlier iterations.)
+"""
+
+from __future__ import annotations
+
+from ..graph.dfg import DFGError
+from .resources import ResourceModel
+from .static_schedule import StaticSchedule
+
+__all__ = ["check_schedule", "is_legal_schedule"]
+
+
+def check_schedule(sched: StaticSchedule, resources: ResourceModel | None = None) -> None:
+    """Raise :class:`DFGError` describing the first legality violation."""
+    g = sched.graph
+    for e in g.edges():
+        if e.delay == 0:
+            ready = sched.start[e.src] + g.node(e.src).time
+            if sched.start[e.dst] < ready:
+                raise DFGError(
+                    f"precedence violation: {e.dst!r} starts at {sched.start[e.dst]} "
+                    f"but zero-delay producer {e.src!r} finishes at {ready}"
+                )
+    if resources is None or resources.is_unconstrained():
+        return
+    for step in range(sched.length):
+        per_kind: dict[str, int] = {}
+        for name in sched.running_at(step):
+            k = resources.kind_of(g.node(name))
+            per_kind[k] = per_kind.get(k, 0) + 1
+        for kind, used in per_kind.items():
+            cap = resources.capacity(kind)
+            if used > cap:
+                raise DFGError(
+                    f"resource violation at step {step}: {used} nodes on "
+                    f"kind {kind!r} with capacity {cap}"
+                )
+
+
+def is_legal_schedule(sched: StaticSchedule, resources: ResourceModel | None = None) -> bool:
+    """Boolean form of :func:`check_schedule`."""
+    try:
+        check_schedule(sched, resources)
+    except DFGError:
+        return False
+    return True

@@ -1,0 +1,93 @@
+"""Resource-constrained list scheduling.
+
+The classic priority-driven scheduler: nodes become *ready* when all their
+zero-delay predecessors have finished; at each control step, ready nodes are
+issued in priority order while functional units of their kind remain.  The
+priority is the longest zero-delay path from the node to any sink
+(critical-path priority), which is optimal for unit-time chains and a strong
+heuristic in general.
+
+This scheduler provides the initial schedule that rotation scheduling
+(:mod:`repro.schedule.rotation`) improves by retiming.
+"""
+
+from __future__ import annotations
+
+from ..graph.dfg import DFG
+from ..graph.validate import topological_order
+from .legality import check_schedule
+from .resources import ResourceModel
+from .static_schedule import StaticSchedule
+
+__all__ = ["list_schedule", "critical_path_priorities"]
+
+
+def critical_path_priorities(g: DFG) -> dict[str, int]:
+    """Priority of each node: longest zero-delay path time from the node to
+    any sink, *including* the node's own time (higher = more urgent)."""
+    prio: dict[str, int] = {}
+    for name in reversed(topological_order(g)):
+        node = g.node(name)
+        best = 0
+        for e in g.out_edges(name):
+            if e.delay == 0:
+                best = max(best, prio[e.dst])
+        prio[name] = best + node.time
+    return prio
+
+
+def list_schedule(g: DFG, resources: ResourceModel | None = None) -> StaticSchedule:
+    """A legal schedule of ``g`` under ``resources`` (unconstrained default).
+
+    Deterministic: ties in priority break by node insertion order.
+    """
+    if resources is None:
+        resources = ResourceModel.unconstrained()
+    prio = critical_path_priorities(g)
+    position = {name: i for i, name in enumerate(g.node_names())}
+
+    # Remaining zero-delay predecessor count per node.
+    blockers: dict[str, int] = {n: 0 for n in g.node_names()}
+    for e in g.zero_delay_edges():
+        blockers[e.dst] += 1
+
+    start: dict[str, int] = {}
+    finish_events: dict[int, list[str]] = {}  # step -> nodes finishing there
+    running: dict[str, int] = {}  # kind -> count currently running
+    ready: list[str] = [n for n in g.node_names() if blockers[n] == 0]
+    unscheduled = set(g.node_names())
+    step = 0
+    guard = 0
+    max_steps = g.total_time * max(1, g.num_nodes) + 1
+    while unscheduled:
+        guard += 1
+        if guard > max_steps:  # pragma: no cover - defensive
+            raise AssertionError("list scheduler failed to converge")
+        # Retire nodes finishing at this step; their consumers may be ready.
+        for name in finish_events.pop(step, []):
+            kind = resources.kind_of(g.node(name))
+            running[kind] -= 1
+            for e in g.out_edges(name):
+                if e.delay == 0:
+                    blockers[e.dst] -= 1
+                    if blockers[e.dst] == 0:
+                        ready.append(e.dst)
+        # Issue ready nodes by priority while units remain.
+        ready.sort(key=lambda n: (-prio[n], position[n]))
+        issued: list[str] = []
+        for name in ready:
+            kind = resources.kind_of(g.node(name))
+            if running.get(kind, 0) < resources.capacity(kind):
+                start[name] = step
+                running[kind] = running.get(kind, 0) + 1
+                t_end = step + g.node(name).time
+                finish_events.setdefault(t_end, []).append(name)
+                unscheduled.discard(name)
+                issued.append(name)
+        for name in issued:
+            ready.remove(name)
+        step += 1
+
+    sched = StaticSchedule(graph=g, start=start)
+    check_schedule(sched, resources)
+    return sched

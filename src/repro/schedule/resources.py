@@ -1,0 +1,75 @@
+"""Functional-unit resource models for resource-constrained scheduling.
+
+The paper targets VLIW DSPs (TMS320C6000-class) with a fixed set of
+functional units.  A :class:`ResourceModel` maps each DFG node to a unit
+*kind* (by default from its operation: multiplications go to multipliers,
+everything else to ALUs) and bounds how many nodes of each kind may occupy
+the same control step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from ..graph.dfg import DFG, DFGError, Node, OpKind
+
+__all__ = ["ResourceModel", "UNLIMITED", "default_kind"]
+
+UNLIMITED: int = 10**9
+"""Sentinel unit count meaning "no constraint" for a kind."""
+
+
+def default_kind(node: Node) -> str:
+    """Default node -> unit-kind mapping: multiplier ops vs. ALU ops."""
+    return "mul" if node.op in (OpKind.MUL, OpKind.MAC) else "alu"
+
+
+@dataclass(frozen=True)
+class ResourceModel:
+    """Available functional units per kind.
+
+    ``units`` maps kind names to counts; kinds absent from the mapping are
+    unconstrained.  ``classify`` maps a node to its kind.
+
+    Examples
+    --------
+    A machine with two ALUs and one multiplier::
+
+        >>> m = ResourceModel(units={"alu": 2, "mul": 1})
+        >>> m.capacity("alu"), m.capacity("fpu") == UNLIMITED
+        (2, True)
+    """
+
+    units: Mapping[str, int] = field(default_factory=dict)
+    classify: Callable[[Node], str] = default_kind
+
+    def __post_init__(self) -> None:
+        for kind, count in self.units.items():
+            if count < 1:
+                raise DFGError(f"resource kind {kind!r} must have >= 1 unit, got {count}")
+
+    def capacity(self, kind: str) -> int:
+        """Units available for ``kind`` (``UNLIMITED`` when unconstrained)."""
+        return self.units.get(kind, UNLIMITED)
+
+    def kind_of(self, node: Node) -> str:
+        """The unit kind node ``node`` executes on."""
+        return self.classify(node)
+
+    def is_unconstrained(self) -> bool:
+        """Whether no kind is bounded."""
+        return not self.units
+
+    @classmethod
+    def unconstrained(cls) -> "ResourceModel":
+        """A model with unlimited units of every kind."""
+        return cls(units={})
+
+    def usage(self, g: DFG) -> dict[str, int]:
+        """Node count per kind for graph ``g`` (helps pick unit counts)."""
+        out: dict[str, int] = {}
+        for node in g.nodes():
+            k = self.kind_of(node)
+            out[k] = out.get(k, 0) + 1
+        return out

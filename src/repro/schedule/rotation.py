@@ -1,0 +1,93 @@
+"""Rotation scheduling (Chao, LaPaugh & Sha).
+
+Rotation scheduling is the loop-pipelining technique the paper's experiments
+build on: starting from a resource-constrained list schedule, it repeatedly
+*rotates* the nodes in the first control step — retiming them down by one
+iteration (``r(v) += 1`` in this library's sign convention, legal when every
+incoming edge from outside the rotated set carries a delay) — and
+reschedules, keeping the shortest schedule seen.  Each rotation is exactly
+one software-pipelining step, so the retiming accumulated by rotation
+scheduling is precisely the retiming function whose code-size expansion the
+CSR framework of :mod:`repro.core` removes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graph.dfg import DFG
+from ..retiming.function import Retiming
+from ..retiming.incremental import can_push, push_nodes
+from .resources import ResourceModel
+from .static_schedule import StaticSchedule
+from .list_scheduling import list_schedule
+
+__all__ = ["RotationResult", "rotation_schedule"]
+
+
+@dataclass(frozen=True)
+class RotationResult:
+    """Outcome of rotation scheduling.
+
+    Attributes
+    ----------
+    retiming:
+        Normalized retiming accumulated by the best rotation prefix.
+    schedule:
+        Best schedule found (of ``retiming.apply()``).
+    length:
+        Its schedule length (the achieved iteration period).
+    rotations:
+        Number of rotations that produced the best schedule.
+    initial_length:
+        Schedule length before any rotation (plain list scheduling).
+    """
+
+    retiming: Retiming
+    schedule: StaticSchedule
+    length: int
+    rotations: int
+    initial_length: int
+
+
+def rotation_schedule(
+    g: DFG,
+    resources: ResourceModel | None = None,
+    max_rotations: int | None = None,
+) -> RotationResult:
+    """Software-pipeline ``g`` under ``resources`` by rotation scheduling.
+
+    ``max_rotations`` defaults to ``2 * |V|`` — enough for the schedule
+    space to cycle on every benchmark in this repository.  The search stops
+    early when a rotation would be illegal (some first-row node has a
+    delay-free external input).
+    """
+    if max_rotations is None:
+        max_rotations = 2 * g.num_nodes
+
+    r = Retiming.zero(g)
+    sched = list_schedule(g, resources)
+    best = RotationResult(
+        retiming=r.normalized(),
+        schedule=sched,
+        length=sched.length,
+        rotations=0,
+        initial_length=sched.length,
+    )
+
+    for k in range(1, max_rotations + 1):
+        # `sched` is always a schedule of the current retimed graph.
+        row = sched.first_row()
+        if not row or not can_push(sched.graph, row):
+            break
+        r = push_nodes(r, row)
+        sched = list_schedule(r.apply(), resources)
+        if sched.length < best.length:
+            best = RotationResult(
+                retiming=r.normalized(),
+                schedule=sched,
+                length=sched.length,
+                rotations=k,
+                initial_length=best.initial_length,
+            )
+    return best

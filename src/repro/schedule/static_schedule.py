@@ -1,0 +1,75 @@
+"""Static schedules of one loop iteration.
+
+A :class:`StaticSchedule` assigns every node a start control step within one
+iteration of the loop body, honouring all zero-delay (intra-iteration)
+dependencies.  Its *length* is the completion time of the last node; for an
+unconstrained schedule of a legal DFG this equals the cycle period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..graph.dfg import DFG, DFGError
+from ..graph.period import asap_times
+
+__all__ = ["StaticSchedule", "asap_schedule"]
+
+
+@dataclass(frozen=True)
+class StaticSchedule:
+    """An immutable mapping of nodes to start control steps.
+
+    Attributes
+    ----------
+    graph:
+        The (possibly retimed/unfolded) DFG being scheduled.
+    start:
+        Node name -> 0-based start step.
+    """
+
+    graph: DFG
+    start: Mapping[str, int]
+
+    def __post_init__(self) -> None:
+        missing = set(self.graph.node_names()) - set(self.start)
+        if missing:
+            raise DFGError(f"schedule misses nodes {sorted(missing)}")
+        for n, s in self.start.items():
+            if s < 0:
+                raise DFGError(f"node {n!r} scheduled at negative step {s}")
+
+    @property
+    def length(self) -> int:
+        """Completion step of the latest node (the schedule length)."""
+        return max(self.start[v.name] + v.time for v in self.graph.nodes())
+
+    def finish(self, node: str) -> int:
+        """Completion step of ``node``."""
+        return self.start[node] + self.graph.node(node).time
+
+    def control_step(self, step: int) -> list[str]:
+        """Nodes *starting* at control step ``step`` (insertion order)."""
+        return [n for n in self.graph.node_names() if self.start[n] == step]
+
+    def running_at(self, step: int) -> list[str]:
+        """Nodes occupying control step ``step`` (started, not yet finished)."""
+        return [
+            v.name
+            for v in self.graph.nodes()
+            if self.start[v.name] <= step < self.start[v.name] + v.time
+        ]
+
+    def first_row(self) -> frozenset[str]:
+        """Nodes in the first control step — the rotation-scheduling frontier."""
+        return frozenset(self.control_step(0))
+
+    def table(self) -> list[list[str]]:
+        """Row per control step, listing the nodes starting there."""
+        return [self.control_step(s) for s in range(self.length)]
+
+
+def asap_schedule(g: DFG) -> StaticSchedule:
+    """The unconstrained as-soon-as-possible schedule (length = cycle period)."""
+    return StaticSchedule(graph=g, start=asap_times(g))

@@ -1,0 +1,35 @@
+"""Workload graphs: the paper's DSP benchmarks and worked examples."""
+
+from .extra import biquad_cascade, fir_filter, lms_filter
+from .figure8 import figure8
+from .filters import (
+    all_pole_filter,
+    differential_equation,
+    elliptic_filter,
+    iir_filter,
+    lattice_filter,
+    volterra_filter,
+)
+from .paper_examples import figure1, figure2_example, figure4_loop
+from .registry import BENCHMARKS, PAPER_LABELS, WORKLOADS, benchmark_graphs, get_workload
+
+__all__ = [
+    "biquad_cascade",
+    "fir_filter",
+    "lms_filter",
+    "figure8",
+    "all_pole_filter",
+    "differential_equation",
+    "elliptic_filter",
+    "iir_filter",
+    "lattice_filter",
+    "volterra_filter",
+    "figure1",
+    "figure2_example",
+    "figure4_loop",
+    "BENCHMARKS",
+    "PAPER_LABELS",
+    "WORKLOADS",
+    "benchmark_graphs",
+    "get_workload",
+]

@@ -1,0 +1,122 @@
+"""Additional workloads beyond the paper's benchmark set.
+
+These exercise structural corners the six paper filters do not:
+
+* :func:`fir_filter` — an *acyclic* DFG (no recurrence at all): iteration
+  bound 0, arbitrarily deep pipelining, the degenerate case of every
+  theorem;
+* :func:`biquad_cascade` — a *parameterized* filter (``k`` second-order
+  sections in series) for scaling studies: code size, retiming depth and
+  register counts as functions of problem size.
+"""
+
+from __future__ import annotations
+
+from ..graph.dfg import DFG, DFGError, OpKind
+
+__all__ = ["fir_filter", "biquad_cascade", "lms_filter"]
+
+
+def fir_filter(taps: int = 5) -> DFG:
+    """A direct-form FIR filter: ``y(i) = sum_k c_k * x(i - k)``.
+
+    Acyclic — the graph has delays (the tap line) but no cycles, so the
+    iteration bound is 0 and retiming is limited only by legality, not by
+    any recurrence.  Node count is ``2 * taps`` (one multiplier and one
+    accumulator per tap, the first accumulator being a pass-through).
+    """
+    if taps < 2:
+        raise DFGError("a FIR filter needs at least 2 taps")
+    g = DFG(f"fir{taps}")
+    g.add_node("X", op=OpKind.SOURCE, imm=5)
+    for k in range(taps):
+        g.add_node(f"M{k}", op=OpKind.MUL, imm=2 + k)
+        g.add_edge("X", f"M{k}", k)  # tap k reads x(i - k)
+    g.add_node("S0", op=OpKind.COPY)
+    g.add_edge("M0", "S0", 0)
+    for k in range(1, taps):
+        g.add_node(f"S{k}", op=OpKind.ADD)
+        g.add_edge(f"S{k - 1}", f"S{k}", 0)
+        g.add_edge(f"M{k}", f"S{k}", 0)
+    return g
+
+
+def biquad_cascade(sections: int = 2) -> DFG:
+    """``sections`` second-order IIR sections in series.
+
+    Section ``k`` is the 8-node biquad of :func:`~repro.workloads.iir_filter`
+    with its input taken from the previous section's output (through one
+    delay, modelling the inter-section pipeline register).  Size is
+    ``8 * sections``; the optimal retiming depth grows with the cascade
+    length, which makes this the scaling workload for code-size studies.
+    """
+    if sections < 1:
+        raise DFGError("cascade needs at least one section")
+    g = DFG(f"biquad{sections}")
+    prev_out: str | None = None
+    for k in range(sections):
+        x = f"X{k}"
+        if prev_out is None:
+            g.add_node(x, op=OpKind.SOURCE, imm=3)
+        else:
+            g.add_node(x, op=OpKind.COPY)
+            g.add_edge(prev_out, x, 1)  # inter-section register
+        g.add_node(f"M1_{k}", op=OpKind.MUL, imm=2)
+        g.add_node(f"M2_{k}", op=OpKind.MUL, imm=3)
+        g.add_node(f"M3_{k}", op=OpKind.MUL, imm=5)
+        g.add_node(f"M4_{k}", op=OpKind.MUL, imm=7)
+        g.add_node(f"S1_{k}", op=OpKind.ADD)
+        g.add_node(f"S2_{k}", op=OpKind.ADD)
+        g.add_node(f"Y{k}", op=OpKind.ADD)
+        g.add_edge(x, f"M1_{k}", 0)
+        g.add_edge(x, f"M2_{k}", 1)
+        g.add_edge(f"Y{k}", f"M3_{k}", 1)
+        g.add_edge(f"Y{k}", f"M4_{k}", 2)
+        g.add_edge(f"M1_{k}", f"S1_{k}", 0)
+        g.add_edge(f"M2_{k}", f"S1_{k}", 0)
+        g.add_edge(f"M3_{k}", f"S2_{k}", 0)
+        g.add_edge(f"M4_{k}", f"S2_{k}", 0)
+        g.add_edge(f"S1_{k}", f"Y{k}", 0)
+        g.add_edge(f"S2_{k}", f"Y{k}", 0)
+        prev_out = f"Y{k}"
+    return g
+
+
+def lms_filter(taps: int = 4) -> DFG:
+    """An LMS adaptive FIR filter: ``y = sum_k w_k x(i-k)``,
+    ``e = d - y``, ``w_k' = w_k + mu * e * x(i-k)``.
+
+    Unlike the fixed-coefficient filters, the weight-update recurrences
+    couple *every* tap to the error node, giving ``taps`` parallel cycles
+    through a single bottleneck — the structure where retiming freedom is
+    scarce and the register-constrained exploration is interesting.
+    Node count is ``3 * taps + 3``.
+    """
+    if taps < 1:
+        raise DFGError("LMS needs at least one tap")
+    g = DFG(f"lms{taps}")
+    g.add_node("X", op=OpKind.SOURCE, imm=3)  # input samples
+    g.add_node("D", op=OpKind.SOURCE, imm=11)  # desired signal
+    for k in range(taps):
+        g.add_node(f"P{k}", op=OpKind.MUL)  # w_k * x(i-k)
+        g.add_edge("X", f"P{k}", k)
+    # Accumulation chain for y.
+    g.add_node("Y0", op=OpKind.COPY)
+    g.add_edge("P0", "Y0", 0)
+    prev = "Y0"
+    for k in range(1, taps):
+        g.add_node(f"Y{k}", op=OpKind.ADD)
+        g.add_edge(prev, f"Y{k}", 0)
+        g.add_edge(f"P{k}", f"Y{k}", 0)
+        prev = f"Y{k}"
+    g.add_node("E", op=OpKind.SUB)  # e = d - y
+    g.add_edge("D", "E", 0)
+    g.add_edge(prev, "E", 0)
+    # Weight updates close a cycle per tap: w_k(i) = w_k(i-1) + mu e x.
+    for k in range(taps):
+        g.add_node(f"W{k}", op=OpKind.MAC, imm=1)  # e * x + w_old
+        g.add_edge("E", f"W{k}", 1)
+        g.add_edge("X", f"W{k}", k + 1)
+        g.add_edge(f"W{k}", f"W{k}", 1)
+        g.add_edge(f"W{k}", f"P{k}", 1)  # products use last iteration's w
+    return g

@@ -1,0 +1,38 @@
+"""The non-unit-time example of the paper's Figure 8 / Table 3.
+
+The paper's Figure 8 shows a small DFG from Chao & Sha [JVSP 1995] whose
+node computation times are not unit — the case where retiming alone cannot
+be rate-optimal and the unfolding factor matters.  The figure itself is an
+unreadable image in our source, so this is a *substitute* with the same
+role (documented in DESIGN.md): five nodes with heterogeneous times, a
+global recurrence giving a non-integral iteration bound ``27/4``, and two
+distinct retiming values at the optimum (Table 3's CR rows need 2
+registers).
+
+Rate-optimality is reachable exactly when ``f * 27/4`` is integral, i.e. at
+``f = 4`` — mirroring the paper's Table 3 where the iteration period only
+reaches the bound (13.5 there) at the largest unfolding factor.
+"""
+
+from __future__ import annotations
+
+from ..graph.dfg import DFG, OpKind
+
+__all__ = ["figure8"]
+
+
+def figure8() -> DFG:
+    """Five non-unit-time nodes, iteration bound 27/4."""
+    g = DFG("figure8")
+    g.add_node("A", time=2, op=OpKind.ADD, imm=1)
+    g.add_node("B", time=10, op=OpKind.MUL, imm=2)
+    g.add_node("C", time=3, op=OpKind.ADD)
+    g.add_node("D", time=7, op=OpKind.MUL, imm=3)
+    g.add_node("E", time=5, op=OpKind.ADD, imm=4)
+    g.add_edge("A", "B", 0)
+    g.add_edge("B", "C", 0)
+    g.add_edge("C", "D", 0)
+    g.add_edge("D", "E", 0)
+    g.add_edge("E", "A", 4)  # T = 27, D = 4  ->  bound 27/4
+    g.add_edge("C", "A", 3)  # secondary recurrence (T = 15, D = 3, ratio 5)
+    return g

@@ -1,0 +1,200 @@
+"""The six DSP filter benchmarks of the paper's Tables 1 and 2.
+
+The paper names the benchmarks and reports their sizes and retiming
+statistics but not their edge lists, so these are *reconstructions*
+(documented in DESIGN.md): each graph has the published node count, a
+filter-plausible topology (multiplier taps feeding adder chains, state
+feedback through delay elements), and — decisive for reproducing the tables
+— the published pipeline depth ``M_r`` and conditional-register count
+``|N_r|`` under this library's optimal retiming.
+
+All nodes are unit-time (the experimental setting of Section 5).
+"""
+
+from __future__ import annotations
+
+from ..graph.dfg import DFG, OpKind
+
+__all__ = [
+    "iir_filter",
+    "differential_equation",
+    "all_pole_filter",
+    "elliptic_filter",
+    "lattice_filter",
+    "volterra_filter",
+]
+
+
+def iir_filter() -> DFG:
+    """Second-order IIR biquad (direct form I), 8 nodes.
+
+    ``y(i) = b0 x(i) + b1 x(i-1) + a1 y(i-1) + a2 y(i-2)`` — one input
+    stream, four multiplier taps, an adder tree, and two feedback delays.
+    Paper statistics: ``M_r = 1``, 2 conditional registers.
+    """
+    g = DFG("iir")
+    g.add_node("X", op=OpKind.SOURCE, imm=3)  # input sample stream
+    g.add_node("M1", op=OpKind.MUL, imm=2)  # b0 * x(i)
+    g.add_node("M2", op=OpKind.MUL, imm=3)  # b1 * x(i-1)
+    g.add_node("M3", op=OpKind.MUL, imm=5)  # a1 * y(i-1)
+    g.add_node("M4", op=OpKind.MUL, imm=7)  # a2 * y(i-2)
+    g.add_node("S1", op=OpKind.ADD)  # feed-forward sum
+    g.add_node("S2", op=OpKind.ADD)  # feedback sum
+    g.add_node("Y", op=OpKind.ADD)  # output accumulate
+    g.add_edge("X", "M1", 0)
+    g.add_edge("X", "M2", 1)
+    g.add_edge("Y", "M3", 1)
+    g.add_edge("Y", "M4", 2)
+    g.add_edge("M1", "S1", 0)
+    g.add_edge("M2", "S1", 0)
+    g.add_edge("M3", "S2", 0)
+    g.add_edge("M4", "S2", 0)
+    g.add_edge("S1", "Y", 0)
+    g.add_edge("S2", "Y", 0)
+    return g
+
+
+def differential_equation() -> DFG:
+    """The HAL differential-equation solver, 11 nodes.
+
+    One Euler step of ``u' = -3xu - 3y,  y' = u`` with three-deep state
+    history on the ``u``/``y`` recurrences (multi-step integration), which
+    is what makes depth-2 software pipelining profitable.
+    Paper statistics: ``M_r = 2``, 3 conditional registers.
+    """
+    g = DFG("diffeq")
+    g.add_node("M1", op=OpKind.MUL, imm=1)  # x * u
+    g.add_node("M2", op=OpKind.MUL, imm=3)  # 3 * (x u)
+    g.add_node("M3", op=OpKind.MUL, imm=2)  # * dx
+    g.add_node("S1", op=OpKind.SUB)  # u - 3 x u dx
+    g.add_node("M4", op=OpKind.MUL, imm=3)  # 3 * y
+    g.add_node("M5", op=OpKind.MUL, imm=2)  # * dx
+    g.add_node("U", op=OpKind.SUB)  # u'
+    g.add_node("M6", op=OpKind.MUL, imm=2)  # u * dx
+    g.add_node("Y", op=OpKind.ADD)  # y'
+    g.add_node("X", op=OpKind.ADD, imm=1)  # x + dx
+    g.add_node("CP", op=OpKind.COPY)  # loop-bound compare
+    g.add_edge("X", "M1", 1)
+    g.add_edge("U", "M1", 3)
+    g.add_edge("M1", "M2", 0)
+    g.add_edge("M2", "M3", 0)
+    g.add_edge("M3", "S1", 0)
+    g.add_edge("U", "S1", 3)
+    g.add_edge("Y", "M4", 3)
+    g.add_edge("M4", "M5", 0)
+    g.add_edge("M5", "U", 0)
+    g.add_edge("S1", "U", 0)
+    g.add_edge("U", "M6", 3)
+    g.add_edge("M6", "Y", 0)
+    g.add_edge("Y", "Y", 1)
+    g.add_edge("X", "X", 1)
+    g.add_edge("X", "CP", 0)
+    return g
+
+
+def all_pole_filter() -> DFG:
+    """All-pole lattice filter, 15 nodes: four reflection stages (multiply
+    + two accumulates each) plus three output taps.
+    Paper statistics: ``M_r = 3``, 4 conditional registers.
+    """
+    g = DFG("allpole")
+    # Four stages of (reflection multiply, accumulate, update).
+    for k in range(4):
+        g.add_node(f"K{k}", op=OpKind.MUL, imm=2 + k)  # reflection coeff
+        g.add_node(f"A{k}", op=OpKind.ADD)  # forward accumulate
+        g.add_node(f"B{k}", op=OpKind.ADD, imm=1)  # state update
+    # Output taps off the middle stages.
+    for k in range(3):
+        g.add_node(f"T{k}", op=OpKind.MUL, imm=3)
+    chain = [name for k in range(4) for name in (f"K{k}", f"A{k}", f"B{k}")]
+    for a, b in zip(chain, chain[1:]):
+        g.add_edge(a, b, 0)
+    g.add_edge("B3", "K0", 4)  # lattice state recurrence
+    g.add_edge("B0", "T0", 0)
+    g.add_edge("B1", "T1", 0)
+    g.add_edge("B2", "T2", 0)
+    return g
+
+
+def elliptic_filter() -> DFG:
+    """Fifth-order elliptic wave filter, 34 nodes (26 adders, 8
+    multipliers) — a long adder spine with multiplier taps and a two-delay
+    state recurrence.
+    Paper statistics: ``M_r = 1`` (the paper's Table 1 lists 3 registers,
+    which is inconsistent with its own ``M_r = 1`` code size; our optimal
+    retiming uses the 2 that ``M_r = 1`` admits — see EXPERIMENTS.md).
+    """
+    g = DFG("elliptic")
+    spine = []
+    for k in range(26):
+        g.add_node(f"A{k}", op=OpKind.ADD, imm=(k % 3))
+        spine.append(f"A{k}")
+    for a, b in zip(spine, spine[1:]):
+        g.add_edge(a, b, 0)
+    # Eight multiplier taps: inject into the spine at regular intervals.
+    for k in range(8):
+        g.add_node(f"M{k}", op=OpKind.MUL, imm=2 + (k % 4))
+        anchor = 3 * k
+        g.add_edge(f"A{anchor}", f"M{k}", 0)
+        g.add_edge(f"M{k}", f"A{anchor + 2}", 0)
+    g.add_edge("A25", "A0", 2)  # wave-filter state recurrence
+    return g
+
+
+def lattice_filter() -> DFG:
+    """Four-stage normalized lattice filter, 26 nodes: four stages of
+    (two reflection multiplies, two adds, state update) plus forward taps
+    and the output accumulator.
+    Paper statistics: ``M_r = 2``, 3 conditional registers.
+    """
+    g = DFG("lattice")
+    chain: list[str] = []
+    for k in range(4):
+        g.add_node(f"P{k}", op=OpKind.MUL, imm=2)  # +k reflection
+        g.add_node(f"Q{k}", op=OpKind.MUL, imm=3)  # -k reflection
+        g.add_node(f"F{k}", op=OpKind.ADD)  # forward path
+        g.add_node(f"G{k}", op=OpKind.ADD, imm=1)  # backward path
+        g.add_node(f"R{k}", op=OpKind.ADD)  # state update
+        chain.extend([f"P{k}", f"Q{k}", f"F{k}", f"G{k}", f"R{k}"])
+    for a, b in zip(chain, chain[1:]):
+        g.add_edge(a, b, 0)
+    # Stage cross-couplings through one-delay state elements.
+    for k in range(3):
+        g.add_edge(f"R{k}", f"P{k + 1}", 1)
+    g.add_edge("R3", "P0", 4)  # global recurrence
+    g.add_edge("G3", "F2", 1)  # last-stage local recurrence (T=7, D=1)
+    # Output accumulator tree: 6 nodes summing the per-stage taps.
+    for k in range(4):
+        g.add_node(f"O{k}", op=OpKind.ADD)
+        g.add_edge(f"F{k}", f"O{k}", 0)
+    g.add_node("O4", op=OpKind.ADD)
+    g.add_node("O5", op=OpKind.ADD)
+    g.add_edge("O0", "O4", 0)
+    g.add_edge("O1", "O4", 0)
+    g.add_edge("O2", "O5", 0)
+    g.add_edge("O3", "O5", 0)
+    return g
+
+
+def volterra_filter() -> DFG:
+    """Second-order Volterra (polynomial) filter, 27 nodes: a linear tap
+    row, a quadratic kernel row of products, and an accumulation chain with
+    a two-delay output recurrence.
+    Paper statistics: ``M_r = 1``, 2 conditional registers.
+    """
+    g = DFG("volterra")
+    chain: list[str] = []
+    # Quadratic kernel products feeding an accumulate chain (2 x 13 + 1).
+    for k in range(13):
+        g.add_node(f"H{k}", op=OpKind.MUL, imm=1 + (k % 5))
+        g.add_node(f"S{k}", op=OpKind.ADD)
+        chain.extend([f"H{k}", f"S{k}"])
+    g.add_node("Y", op=OpKind.ADD)  # output
+    chain.append("Y")
+    for a, b in zip(chain, chain[1:]):
+        g.add_edge(a, b, 0)
+    g.add_edge("Y", "H0", 2)  # adaptive-coefficient recurrence
+    # Extra data reuse: every fourth product also reads the delayed output.
+    for k in range(4, 13, 4):
+        g.add_edge("Y", f"H{k}", 3)
+    return g

@@ -1,0 +1,29 @@
+"""Tests for the table formatter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bbb"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1  # rectangular
+
+    def test_header_rule(self):
+        text = format_table(["x"], [[1]])
+        assert text.splitlines()[1].strip("- ") == ""
+
+    def test_floats_one_decimal(self):
+        assert "2.5" in format_table(["v"], [[2.46]])
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError, match="columns"):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a"], [])
+        assert len(text.splitlines()) == 2

@@ -1,0 +1,125 @@
+"""Tests for the loop-program IR."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codegen import (
+    ComputeInstr,
+    DecInstr,
+    Guard,
+    IndexBase,
+    IndexExpr,
+    Loop,
+    LoopProgram,
+    Operand,
+    SetupInstr,
+)
+from repro.graph import DFGError, OpKind
+
+
+class TestIndexExpr:
+    def test_const(self):
+        assert IndexExpr.const(5).resolve(None, 100) == 5
+
+    def test_loop_relative(self):
+        assert IndexExpr.loop(3).resolve(10, 100) == 13
+
+    def test_trip_relative(self):
+        assert IndexExpr.trip(-2).resolve(None, 100) == 98
+
+    def test_loop_var_required(self):
+        with pytest.raises(DFGError, match="outside the loop body"):
+            IndexExpr.loop(0).resolve(None, 100)
+
+    @pytest.mark.parametrize(
+        "expr,text",
+        [
+            (IndexExpr.const(7), "7"),
+            (IndexExpr.loop(0), "i"),
+            (IndexExpr.loop(3), "i+3"),
+            (IndexExpr.loop(-1), "i-1"),
+            (IndexExpr.trip(0), "n"),
+            (IndexExpr.trip(-4), "n-4"),
+        ],
+    )
+    def test_str(self, expr, text):
+        assert str(expr) == text
+
+
+class TestLoop:
+    def _body(self):
+        return (
+            ComputeInstr(
+                dest=Operand("A", IndexExpr.loop(0)),
+                op=OpKind.ADD,
+                imm=0,
+                srcs=(),
+            ),
+        )
+
+    def test_iter_indices(self):
+        loop = Loop(IndexExpr.const(1), IndexExpr.trip(0), 1, self._body())
+        assert list(loop.iter_indices(5)) == [1, 2, 3, 4, 5]
+
+    def test_iter_with_step(self):
+        loop = Loop(IndexExpr.const(1), IndexExpr.trip(0), 3, self._body())
+        assert list(loop.iter_indices(8)) == [1, 4, 7]
+
+    def test_trip_count(self):
+        loop = Loop(IndexExpr.const(-2), IndexExpr.trip(0), 1, self._body())
+        assert loop.trip_count(10) == 13
+
+    def test_empty_range(self):
+        loop = Loop(IndexExpr.const(5), IndexExpr.trip(0), 1, self._body())
+        assert loop.trip_count(3) == 0
+        assert list(loop.iter_indices(3)) == []
+
+    def test_step_must_be_positive(self):
+        with pytest.raises(DFGError, match="step"):
+            Loop(IndexExpr.const(1), IndexExpr.trip(0), 0, self._body())
+
+    def test_bounds_cannot_use_loop_var(self):
+        with pytest.raises(DFGError, match="loop variable"):
+            Loop(IndexExpr.loop(0), IndexExpr.trip(0), 1, self._body())
+
+
+class TestLoopProgram:
+    def _program(self) -> LoopProgram:
+        compute = ComputeInstr(
+            dest=Operand("A", IndexExpr.loop(0)),
+            op=OpKind.ADD,
+            imm=0,
+            srcs=(Operand("A", IndexExpr.loop(-1)),),
+            guard=Guard("p1"),
+        )
+        return LoopProgram(
+            name="p",
+            pre=(SetupInstr("p1", 2),),
+            loop=Loop(IndexExpr.const(1), IndexExpr.trip(0), 1, (compute, DecInstr("p1"))),
+            post=(),
+        )
+
+    def test_code_size(self):
+        assert self._program().code_size == 3
+
+    def test_compute_and_overhead(self):
+        p = self._program()
+        assert p.compute_size == 1
+        assert p.overhead_size == 2
+
+    def test_registers(self):
+        assert self._program().registers() == ["p1"]
+
+    def test_instructions_order(self):
+        kinds = [type(i).__name__ for i in self._program().instructions()]
+        assert kinds == ["SetupInstr", "ComputeInstr", "DecInstr"]
+
+    def test_instr_str(self):
+        p = self._program()
+        assert str(p.pre[0]) == "setup p1 = 2 : -LC"
+        assert str(p.loop.body[1]) == "p1 = p1 - 1"
+        assert "(p1)" in str(p.loop.body[0])
+
+    def test_guard_str_with_offset(self):
+        assert str(Guard("p2", -1)) == "(p2-1)"

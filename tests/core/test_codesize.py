@@ -1,0 +1,142 @@
+"""Tests for the closed-form code-size models (Theorems 4.4/4.5).
+
+Every model must equal the instruction count of the actually generated
+program — the models are not independent claims but summaries of codegen.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codegen import (
+    original_loop,
+    pipelined_loop,
+    retimed_unfolded_loop,
+    unfold_retimed_loop,
+    unfolded_loop,
+)
+from repro.core import (
+    PER_COPY,
+    PER_ITERATION,
+    CodeSizeReport,
+    csr_pipelined_loop,
+    csr_retimed_unfolded_loop,
+    csr_unfold_retimed_loop,
+    csr_unfolded_loop,
+    remainder_iterations,
+    report_retimed,
+    report_retimed_unfolded,
+    size_csr_pipelined,
+    size_csr_retime_unfold,
+    size_csr_unfold_retime,
+    size_csr_unfolded,
+    size_original,
+    size_pipelined,
+    size_retime_unfold,
+    size_unfold_retime,
+    size_unfolded,
+)
+from repro.retiming import minimize_cycle_period
+from repro.unfolding import retime_unfold, unfold_retime
+
+
+class TestModelsMatchGeneratedCode:
+    def test_original(self, bench_graph):
+        assert original_loop(bench_graph).code_size == size_original(bench_graph)
+
+    def test_pipelined(self, bench_graph):
+        _, r = minimize_cycle_period(bench_graph)
+        assert pipelined_loop(bench_graph, r).code_size == size_pipelined(bench_graph, r)
+
+    def test_csr_pipelined(self, bench_graph):
+        _, r = minimize_cycle_period(bench_graph)
+        assert csr_pipelined_loop(bench_graph, r).code_size == size_csr_pipelined(
+            bench_graph, r
+        )
+
+    @pytest.mark.parametrize("f,res", [(2, 0), (2, 1), (3, 0), (3, 2), (4, 3)])
+    def test_unfolded(self, fig4, f, res):
+        assert unfolded_loop(fig4, f, res).code_size == size_unfolded(fig4, f, res)
+
+    @pytest.mark.parametrize("f", [1, 2, 3, 4])
+    def test_csr_unfolded(self, fig4, f):
+        assert csr_unfolded_loop(fig4, f).code_size == size_csr_unfolded(fig4, f)
+
+    @pytest.mark.parametrize("f,leftover", [(2, 0), (3, 1), (4, 2)])
+    def test_retime_unfold_theorem_4_5(self, bench_graph, f, leftover):
+        res = retime_unfold(bench_graph, f)
+        p = retimed_unfolded_loop(bench_graph, res.retiming, f, leftover)
+        assert p.code_size == size_retime_unfold(bench_graph, res.retiming, f, leftover)
+
+    @pytest.mark.parametrize("f,residue", [(2, 0), (3, 1)])
+    def test_unfold_retime_theorem_4_4(self, bench_graph, f, residue):
+        res = unfold_retime(bench_graph, f)
+        p = unfold_retimed_loop(bench_graph, res.retiming, f, residue)
+        assert p.code_size == size_unfold_retime(bench_graph, res.retiming, f, residue)
+
+    @pytest.mark.parametrize("mode", [PER_COPY, PER_ITERATION])
+    def test_csr_retime_unfold(self, bench_graph, mode):
+        res = retime_unfold(bench_graph, 3)
+        p = csr_retimed_unfolded_loop(bench_graph, res.retiming, 3, mode=mode)
+        assert p.code_size == size_csr_retime_unfold(bench_graph, res.retiming, 3, mode)
+
+    def test_csr_unfold_retime(self, fig4):
+        res = unfold_retime(fig4, 3)
+        p = csr_unfold_retimed_loop(fig4, res.retiming, 3)
+        assert p.code_size == size_csr_unfold_retime(fig4, res.retiming, 3)
+
+
+class TestOrderTheorem:
+    """S_{r,f} <= S_{f,r} (the paper's Section 4 conclusion)."""
+
+    @pytest.mark.parametrize("f", [2, 3, 4])
+    def test_retime_first_never_larger(self, bench_graph, f):
+        ru = retime_unfold(bench_graph, f)
+        ur = unfold_retime(bench_graph, f, period=ru.period)
+        s_rf = size_retime_unfold(bench_graph, ru.retiming, f)
+        s_fr = size_unfold_retime(bench_graph, ur.retiming, f)
+        assert s_rf <= s_fr
+
+    def test_csr_never_worse_when_pipelined(self, bench_graph):
+        """CSR wins exactly when the removed expansion (M_r * L) exceeds
+        the setup/decrement overhead (R * (f + 1))."""
+        res = retime_unfold(bench_graph, 3)
+        r = res.retiming
+        plain = size_retime_unfold(bench_graph, r, 3)
+        csr = size_csr_retime_unfold(bench_graph, r, 3)
+        saved = r.max_value * bench_graph.num_nodes
+        overhead = r.registers_needed() * 4
+        assert csr - plain == overhead - saved
+        if saved >= overhead:
+            assert csr <= plain
+
+
+class TestHelpers:
+    def test_remainder_iterations(self):
+        assert remainder_iterations(101, 3) == 2
+        assert remainder_iterations(101, 3, shift=2) == 0
+        assert remainder_iterations(9, 3) == 0
+
+    def test_bad_mode_rejected(self, fig4):
+        _, r = minimize_cycle_period(fig4)
+        with pytest.raises(ValueError, match="mode"):
+            size_csr_retime_unfold(fig4, r, 3, mode="bogus")
+
+    def test_report_retimed(self, fig2):
+        _, r = minimize_cycle_period(fig2)
+        rep = report_retimed(fig2, r)
+        assert rep.original == 5
+        assert rep.expanded == 20
+        assert rep.csr == 13
+        assert rep.registers == 4
+        assert rep.reduction_pct == pytest.approx(35.0)
+
+    def test_report_retimed_unfolded(self, fig2):
+        _, r = minimize_cycle_period(fig2)
+        rep = report_retimed_unfolded(fig2, r, 3, remainder=2)
+        assert rep.expanded == (3 + 3 + 2) * 5
+        assert rep.csr == 3 * 5 + 4 * 4
+
+    def test_reduction_pct_zero_expanded(self):
+        rep = CodeSizeReport(name="x", original=0, expanded=0, csr=0, registers=0)
+        assert rep.reduction_pct == 0.0

@@ -1,0 +1,132 @@
+"""Tests for CSR of retimed-and-unfolded loops (Theorems 4.6/4.7)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    PER_COPY,
+    PER_ITERATION,
+    assert_equivalent,
+    csr_retimed_unfolded_loop,
+    csr_unfold_retimed_loop,
+    size_csr_retime_unfold,
+    size_csr_unfold_retime,
+)
+from repro.graph import DFGError
+from repro.retiming import Retiming, minimize_cycle_period
+from repro.unfolding import retime_unfold, unfold_retime
+
+from ..conftest import dfgs
+
+
+class TestRetimedUnfolded:
+    def test_register_count_invariant_in_f(self, fig2):
+        """Theorem 4.7: P_{r,f} = P_r — unfolding costs no extra registers."""
+        _, r = minimize_cycle_period(fig2)
+        for f in (1, 2, 3, 5):
+            p = csr_retimed_unfolded_loop(fig2, r, f)
+            assert len(p.registers()) == r.registers_needed()
+
+    def test_per_copy_size(self, fig4):
+        _, r = minimize_cycle_period(fig4)
+        for f in (2, 3, 4):
+            p = csr_retimed_unfolded_loop(fig4, r, f, mode=PER_COPY)
+            assert p.code_size == size_csr_retime_unfold(fig4, r, f, PER_COPY)
+            assert p.code_size == f * 3 + r.registers_needed() * (f + 1)
+
+    def test_per_iteration_size(self, fig4):
+        _, r = minimize_cycle_period(fig4)
+        for f in (2, 3, 4):
+            p = csr_retimed_unfolded_loop(fig4, r, f, mode=PER_ITERATION)
+            assert p.code_size == size_csr_retime_unfold(fig4, r, f, PER_ITERATION)
+            assert p.code_size == f * 3 + 2 * r.registers_needed()
+
+    @pytest.mark.parametrize("mode", [PER_COPY, PER_ITERATION])
+    @pytest.mark.parametrize("n", [0, 1, 2, 3, 5, 9, 14, 23])
+    def test_figure7_semantics(self, fig4, mode, n):
+        """Figure 7(b)'s scenario: retimed figure-4 loop unfolded by 3, one
+        program for every trip count."""
+        _, r = minimize_cycle_period(fig4)
+        p = csr_retimed_unfolded_loop(fig4, r, 3, mode=mode)
+        assert_equivalent(fig4, p, n)
+
+    def test_benchmark_semantics(self, bench_graph):
+        _, r = minimize_cycle_period(bench_graph)
+        p = csr_retimed_unfolded_loop(bench_graph, r, 3)
+        for n in (2, 10, 101):
+            assert_equivalent(bench_graph, p, n)
+
+    def test_paper_figure7a_loop_start(self, fig4):
+        """Figure 7(a): with M_r = 1 the paper's loop covers one extra
+        pipelined iteration; our uniform base is 1 - M_r = 0 there.  (The
+        figure's literal r(B)=1 alone is illegal under the paper's own
+        delay formula; the legal depth-1 retiming shifts A with B.)"""
+        r = Retiming(fig4, {"A": 1, "B": 1})
+        p = csr_retimed_unfolded_loop(fig4, r, 3)
+        assert str(p.loop.start) == "0"
+        assert p.loop.step == 3
+
+    def test_modes_agree_on_results(self, fig2):
+        _, r = minimize_cycle_period(fig2)
+        from repro.machine import run_program
+
+        a = run_program(csr_retimed_unfolded_loop(fig2, r, 3, PER_COPY), 11)
+        b = run_program(csr_retimed_unfolded_loop(fig2, r, 3, PER_ITERATION), 11)
+        assert a.arrays == b.arrays
+
+    def test_invalid_factor(self, fig4):
+        _, r = minimize_cycle_period(fig4)
+        with pytest.raises(DFGError, match="factor"):
+            csr_retimed_unfolded_loop(fig4, r, 0)
+
+
+class TestUnfoldRetimed:
+    def test_semantics(self, fig4):
+        res = unfold_retime(fig4, 3)
+        p = csr_unfold_retimed_loop(fig4, res.retiming, 3)
+        for n in (0, 1, 2, 3, 7, 12, 20):
+            assert_equivalent(fig4, p, n)
+
+    def test_size_model(self, fig4):
+        res = unfold_retime(fig4, 3)
+        p = csr_unfold_retimed_loop(fig4, res.retiming, 3)
+        assert p.code_size == size_csr_unfold_retime(fig4, res.retiming, 3)
+
+    def test_may_need_more_registers(self, fig2):
+        """The paper's Section 3.4 point: distinct per-copy retiming values
+        can exceed |N_r| — and never go below it for matched periods."""
+        ru = retime_unfold(fig2, 3)
+        ur = unfold_retime(fig2, 3, period=ru.period)
+        p_ru = csr_retimed_unfolded_loop(fig2, ru.retiming, 3)
+        p_ur = csr_unfold_retimed_loop(fig2, ur.retiming, 3)
+        assert len(p_ur.registers()) >= 1
+        assert len(p_ru.registers()) == ru.retiming.registers_needed()
+
+    def test_wrong_retiming_domain_rejected(self, fig4):
+        with pytest.raises(DFGError, match="copies"):
+            csr_unfold_retimed_loop(fig4, Retiming.zero(fig4), 3)
+
+    def test_benchmark_semantics(self, bench_graph):
+        res = unfold_retime(bench_graph, 2)
+        p = csr_unfold_retimed_loop(bench_graph, res.retiming, 2)
+        for n in (3, 8, 21):
+            assert_equivalent(bench_graph, p, n)
+
+
+class TestPropertyEquivalence:
+    @given(dfgs(max_nodes=5, max_extra_edges=4), st.integers(1, 3), st.integers(0, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_retime_unfold_csr_random(self, g, f, n):
+        res = retime_unfold(g, f)
+        p = csr_retimed_unfolded_loop(g, res.retiming, f)
+        assert_equivalent(g, p, n)
+
+    @given(dfgs(max_nodes=4, max_extra_edges=3), st.integers(1, 3), st.integers(0, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_unfold_retime_csr_random(self, g, f, n):
+        res = unfold_retime(g, f)
+        p = csr_unfold_retimed_loop(g, res.retiming, f)
+        assert_equivalent(g, p, n)

@@ -1,0 +1,93 @@
+"""Tests for CSR of pipelined loops (Section 3.2 / Theorems 4.1-4.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codegen import DecInstr, SetupInstr, format_program
+from repro.core import assert_equivalent, csr_pipelined_loop, size_csr_pipelined
+from repro.machine import run_program
+from repro.retiming import Retiming, minimize_cycle_period
+
+
+class TestPaperFigure3b:
+    """The generated program must match the paper's Figure 3(b) exactly."""
+
+    @pytest.fixture
+    def program(self, fig2):
+        _, r = minimize_cycle_period(fig2)
+        return csr_pipelined_loop(fig2, r)
+
+    def test_loop_bounds(self, program):
+        # "for i = -2 to n do" — loop starts at 1 - M_r = -2.
+        assert str(program.loop.start) == "-2"
+        assert str(program.loop.end) == "n"
+
+    def test_four_registers_with_paper_inits(self, program):
+        setups = {s.register: s.init for s in program.pre}
+        assert setups == {"p1": 0, "p2": 1, "p3": 2, "p4": 3}
+
+    def test_guard_assignment(self, program):
+        # A (r=3) guarded by p1, B/C (r=2) by p2, D by p3, E by p4.
+        guards = {i.node: i.guard.register for i in program.loop.body if hasattr(i, "node")}
+        assert guards == {"A": "p1", "B": "p2", "C": "p2", "D": "p3", "E": "p4"}
+
+    def test_one_decrement_per_register(self, program):
+        decs = [i for i in program.loop.body if isinstance(i, DecInstr)]
+        assert sorted(d.register for d in decs) == ["p1", "p2", "p3", "p4"]
+        assert all(d.amount == 1 for d in decs)
+
+    def test_code_size_13(self, program, fig2):
+        # 5 computes + 4 setups + 4 decrements; versus 20 for Figure 3(a).
+        assert program.code_size == 13
+        _, r = minimize_cycle_period(fig2)
+        assert program.code_size == size_csr_pipelined(fig2, r)
+
+    def test_loop_executes_n_plus_3_iterations(self, program):
+        assert program.loop.trip_count(10) == 13  # n + M_r
+
+    def test_printed_form(self, program):
+        text = format_program(program)
+        assert "setup p1 = 0 : -LC" in text
+        assert "for i = -2 to n do" in text
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("n", [0, 1, 2, 3, 4, 5, 8, 17, 50])
+    def test_equivalent_for_all_trip_counts(self, fig2, n):
+        """Unlike the plain pipelined program (which needs n >= M_r), the
+        CSR form is correct for every n including n < M_r."""
+        _, r = minimize_cycle_period(fig2)
+        assert_equivalent(fig2, csr_pipelined_loop(fig2, r), n)
+
+    def test_benchmarks_equivalent(self, bench_graph):
+        _, r = minimize_cycle_period(bench_graph)
+        p = csr_pipelined_loop(bench_graph, r)
+        for n in (1, 7, 23):
+            assert_equivalent(bench_graph, p, n)
+
+    def test_zero_retiming_still_works(self, fig4):
+        p = csr_pipelined_loop(fig4, Retiming.zero(fig4))
+        assert_equivalent(fig4, p, 9)
+        # One register (value class 0), overhead 2.
+        assert p.code_size == fig4.num_nodes + 2
+
+    def test_disabled_count(self, fig2):
+        """Over n + M_r iterations, each register class of k nodes is
+        disabled for exactly M_r iterations' worth of its nodes."""
+        _, r = minimize_cycle_period(fig2)
+        res = run_program(csr_pipelined_loop(fig2, r), 10)
+        # Total disabled = sum over nodes of M_r (prologue+epilogue misses).
+        assert res.disabled == r.max_value * fig2.num_nodes
+        assert res.executed == 10 * fig2.num_nodes
+
+    def test_register_count_is_distinct_values(self, bench_graph):
+        _, r = minimize_cycle_period(bench_graph)
+        p = csr_pipelined_loop(bench_graph, r)
+        assert len(p.registers()) == r.registers_needed()
+
+    def test_normalizes_input_retiming(self, fig2):
+        _, r = minimize_cycle_period(fig2)
+        shifted = r.shifted(5)
+        p = csr_pipelined_loop(fig2, shifted)
+        assert_equivalent(fig2, p, 8)

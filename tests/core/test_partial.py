@@ -1,0 +1,80 @@
+"""Tests for register-constrained retiming."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import limit_registers
+from repro.core.partial import minimize_registers_for_unfold
+from repro.graph import DFGError, cycle_period
+from repro.retiming import minimize_cycle_period
+from repro.unfolding import unfold
+
+
+class TestLimitRegisters:
+    def test_no_op_when_budget_suffices(self, fig2):
+        c, r = minimize_cycle_period(fig2)
+        res = limit_registers(fig2, r.registers_needed())
+        assert res.period == c
+        assert res.registers <= r.registers_needed()
+
+    def test_budget_respected(self, fig2):
+        # The optimum needs 4 registers; force 2.
+        res = limit_registers(fig2, 2)
+        assert res.registers <= 2
+        assert res.retiming.is_legal()
+        assert cycle_period(res.retiming.apply()) == res.period
+
+    def test_price_of_budget_reported(self, fig2):
+        res = limit_registers(fig2, 2)
+        assert res.unconstrained_period == 1
+        assert res.period >= res.unconstrained_period
+
+    def test_single_register_always_possible(self, bench_graph):
+        res = limit_registers(bench_graph, 1)
+        assert res.registers == 1
+        # One distinct value means no prologue at all: identity-like.
+        assert res.period <= cycle_period(bench_graph)
+
+    def test_invalid_budget(self, fig2):
+        with pytest.raises(DFGError, match="register"):
+            limit_registers(fig2, 0)
+
+    def test_benchmarks_with_tight_budget(self, bench_graph):
+        _, r = minimize_cycle_period(bench_graph)
+        want = max(1, r.registers_needed() - 1)
+        res = limit_registers(bench_graph, want)
+        assert res.registers <= want
+
+
+class TestMinimizeRegistersForUnfold:
+    def test_respects_period(self, fig8):
+        r = minimize_registers_for_unfold(fig8, 4, 27)
+        assert r is not None
+        assert cycle_period(unfold(r.apply(), 4)) <= 27
+
+    def test_infeasible_period(self, fig8):
+        assert minimize_registers_for_unfold(fig8, 4, 9) is None
+
+    def test_exhaustive_is_never_worse_than_baseline(self, fig8):
+        from repro.unfolding import retime_unfold_for_period
+
+        for f, c in ((2, 15), (3, 24), (4, 27)):
+            base = retime_unfold_for_period(fig8, f, c)
+            best = minimize_registers_for_unfold(fig8, f, c)
+            assert best.registers_needed() <= base.registers_needed()
+
+    def test_figure8_f2_needs_two(self, fig8):
+        """Exhaustive search proves 2 registers is optimal at f=2, c=15."""
+        r = minimize_registers_for_unfold(fig8, 2, 15)
+        assert r.registers_needed() == 2
+
+    def test_heuristic_path_for_large_graphs(self, bench_graph):
+        from repro.unfolding import retime_unfold
+
+        res = retime_unfold(bench_graph, 2)
+        r = minimize_registers_for_unfold(
+            bench_graph, 2, res.period, exhaustive_limit=0
+        )
+        assert r is not None
+        assert cycle_period(unfold(r.apply(), 2)) <= res.period

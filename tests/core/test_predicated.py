@@ -1,0 +1,89 @@
+"""Tests for the generic predicated-program builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PER_COPY, PER_ITERATION, predicated_program
+from repro.core.verify import assert_equivalent
+from repro.graph import DFGError
+from repro.graph.validate import topological_order
+
+
+def _shifts(g, f, fn):
+    return {(v, j): fn(v, j) for v in g.node_names() for j in range(f)}
+
+
+def _slot_major(g, f):
+    order = topological_order(g)
+    return [(v, j) for j in range(f) for v in order]
+
+
+class TestValidation:
+    def test_shift_coverage_checked(self, fig4):
+        with pytest.raises(DFGError, match="every"):
+            predicated_program(fig4, 2, {("A", 0): 0}, [("A", 0)])
+
+    def test_body_order_permutation_checked(self, fig4):
+        shifts = _shifts(fig4, 1, lambda v, j: 0)
+        with pytest.raises(DFGError, match="permutation"):
+            predicated_program(fig4, 1, shifts, [("A", 0), ("A", 0), ("B", 0)])
+
+    def test_unknown_mode(self, fig4):
+        shifts = _shifts(fig4, 1, lambda v, j: 0)
+        with pytest.raises(DFGError, match="mode"):
+            predicated_program(fig4, 1, shifts, _slot_major(fig4, 1), mode="x")
+
+    def test_per_copy_requires_slot_major(self, fig4):
+        shifts = _shifts(fig4, 2, lambda v, j: j)
+        order = list(reversed(_slot_major(fig4, 2)))
+        with pytest.raises(DFGError, match="slot-major"):
+            predicated_program(fig4, 2, shifts, order, mode=PER_COPY)
+
+    def test_bad_factor(self, fig4):
+        with pytest.raises(DFGError, match="slot count"):
+            predicated_program(fig4, 0, {}, [])
+
+
+class TestRegisterAllocation:
+    def test_one_register_per_class(self, fig4):
+        shifts = _shifts(fig4, 2, lambda v, j: j + (1 if v == "A" else 0))
+        p = predicated_program(fig4, 2, shifts, _slot_major(fig4, 2))
+        assert len(p.registers()) == 2  # classes {0, 1}
+
+    def test_register_inits_descend_from_cmax(self, fig4):
+        shifts = _shifts(fig4, 1, lambda v, j: {"A": 2, "B": 0, "C": 0}[v])
+        p = predicated_program(fig4, 1, shifts, _slot_major(fig4, 1))
+        inits = {s.register: s.init for s in p.pre}
+        assert inits == {"p1": 0, "p2": 2}  # classes 2 and 0
+
+    def test_loop_base_is_one_minus_cmax(self, fig4):
+        shifts = _shifts(fig4, 1, lambda v, j: {"A": 2, "B": 0, "C": 0}[v])
+        p = predicated_program(fig4, 1, shifts, _slot_major(fig4, 1))
+        assert str(p.loop.start) == "-1"
+
+    def test_meta_records_classes(self, fig4):
+        shifts = _shifts(fig4, 2, lambda v, j: j)
+        p = predicated_program(fig4, 2, shifts, _slot_major(fig4, 2))
+        assert p.meta["classes"] == [0]
+        assert p.meta["registers"] == 1
+
+
+class TestModes:
+    def test_per_copy_overhead(self, fig4):
+        shifts = _shifts(fig4, 3, lambda v, j: j)
+        p = predicated_program(fig4, 3, shifts, _slot_major(fig4, 3), mode=PER_COPY)
+        assert p.overhead_size == 1 * (3 + 1)
+
+    def test_per_iteration_overhead(self, fig4):
+        shifts = _shifts(fig4, 3, lambda v, j: j)
+        p = predicated_program(
+            fig4, 3, shifts, _slot_major(fig4, 3), mode=PER_ITERATION
+        )
+        assert p.overhead_size == 2
+
+    def test_modes_equivalent_semantics(self, fig4):
+        shifts = _shifts(fig4, 3, lambda v, j: j)
+        for mode in (PER_COPY, PER_ITERATION):
+            p = predicated_program(fig4, 3, shifts, _slot_major(fig4, 3), mode=mode)
+            assert_equivalent(fig4, p, 11)

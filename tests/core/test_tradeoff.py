@@ -1,0 +1,92 @@
+"""Tests for the code-size/performance trade-off explorer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    best_under_budget,
+    design_space,
+    max_retiming_depth,
+    max_unfolding_factor,
+)
+from repro.graph import DFGError, iteration_bound
+
+
+class TestFormulas:
+    def test_max_unfolding_factor(self):
+        # L_req=100, L_orig=10, M_r=3: floor(100/10) - 3 = 7.
+        assert max_unfolding_factor(100, 10, 3) == 7
+
+    def test_max_retiming_depth(self):
+        assert max_retiming_depth(100, 10, 4) == 6
+
+    def test_budget_too_small_goes_nonpositive(self):
+        assert max_unfolding_factor(25, 10, 3) <= 0
+
+    def test_inverse_relationship(self):
+        """The two formulas are inverses around floor(L_req/L_orig)."""
+        l_req, l_orig = 120, 11
+        for m_r in range(5):
+            f = max_unfolding_factor(l_req, l_orig, m_r)
+            assert max_retiming_depth(l_req, l_orig, f) == m_r
+
+    def test_zero_l_orig_rejected(self):
+        with pytest.raises(DFGError):
+            max_unfolding_factor(10, 0, 1)
+
+
+class TestDesignSpace:
+    def test_points_for_each_factor(self, fig4):
+        pts = design_space(fig4, max_factor=4)
+        assert [p.factor for p in pts] == [1, 2, 3, 4]
+
+    def test_figure4_periods_by_factor(self, fig4):
+        """Exact optimal periods for Figure 4 (bound 2/3): rate-optimal at
+        every multiple of 3, ceil-rounded elsewhere.  (Not monotone in f in
+        general — e.g. a bound with denominator 2 makes f=2 beat f=3.)"""
+        pts = design_space(fig4, max_factor=4)
+        assert [str(p.iteration_period) for p in pts] == ["1", "1", "2/3", "3/4"]
+
+    def test_periods_lower_bounded(self, bench_graph):
+        bound = iteration_bound(bench_graph)
+        for p in design_space(bench_graph, max_factor=3):
+            assert p.iteration_period >= bound
+
+    def test_csr_never_larger_than_plain(self, fig4):
+        for p in design_space(fig4, max_factor=4):
+            assert p.size_csr <= p.size_plain + p.registers * (p.factor + 1)
+
+    def test_rate_optimal_point_exists(self, fig4):
+        """Figure 4's bound is 2/3: the f=3 point must be rate-optimal."""
+        pts = design_space(fig4, max_factor=3)
+        assert pts[2].iteration_period == iteration_bound(fig4)
+
+
+class TestBestUnderBudget:
+    def test_picks_fastest_fitting(self, fig4):
+        pts = design_space(fig4, max_factor=4)
+        best = best_under_budget(pts, l_req=100)
+        assert best is not None
+        assert best.iteration_period == min(p.iteration_period for p in pts)
+
+    def test_budget_excludes_large_points(self, fig4):
+        pts = design_space(fig4, max_factor=4)
+        small = best_under_budget(pts, l_req=pts[0].size_csr)
+        assert small is not None
+        assert small.factor == 1
+
+    def test_nothing_fits(self, fig4):
+        pts = design_space(fig4, max_factor=2)
+        assert best_under_budget(pts, l_req=1) is None
+
+    def test_register_filter(self, fig2):
+        pts = design_space(fig2, max_factor=2)
+        constrained = best_under_budget(pts, l_req=10_000, max_registers=1)
+        if constrained is not None:
+            assert constrained.registers <= 1
+
+    def test_plain_size_budget(self, fig4):
+        pts = design_space(fig4, max_factor=3)
+        best = best_under_budget(pts, l_req=10_000, use_csr=False)
+        assert best is not None

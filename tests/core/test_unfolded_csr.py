@@ -1,0 +1,75 @@
+"""Tests for CSR of unfolded loops (Section 3.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codegen import DecInstr, SetupInstr
+from repro.core import assert_equivalent, csr_unfolded_loop, size_csr_unfolded
+from repro.graph import DFGError
+from repro.machine import run_program
+
+
+class TestStructure:
+    def test_single_register(self, fig4):
+        p = csr_unfolded_loop(fig4, 3)
+        assert p.registers() == ["p1"]
+
+    def test_overhead_is_two(self, fig4):
+        """The paper: reduction saves (n mod f) * L_orig - 2 instructions —
+        the overhead is exactly one setup and one decrement."""
+        p = csr_unfolded_loop(fig4, 3)
+        assert p.overhead_size == 2
+        assert p.code_size == size_csr_unfolded(fig4, 3)
+
+    def test_decrement_by_f(self, fig4):
+        p = csr_unfolded_loop(fig4, 3)
+        decs = [i for i in p.loop.body if isinstance(i, DecInstr)]
+        assert len(decs) == 1
+        assert decs[0].amount == 3
+
+    def test_setup_zero(self, fig4):
+        setup = p = csr_unfolded_loop(fig4, 3).pre[0]
+        assert isinstance(setup, SetupInstr)
+        assert setup.init == 0
+
+    def test_guard_offsets_per_slot(self, fig4):
+        p = csr_unfolded_loop(fig4, 3)
+        offsets = [i.guard.offset for i in p.loop.body if hasattr(i, "guard") and i.guard]
+        assert offsets == [0, 0, 0, -1, -1, -1, -2, -2, -2]
+
+    def test_loop_covers_ceil_n_over_f(self, fig4):
+        p = csr_unfolded_loop(fig4, 3)
+        assert p.loop.trip_count(7) == 3
+        assert p.loop.trip_count(9) == 3
+        assert p.loop.trip_count(10) == 4
+
+    def test_no_residue_specialization(self, fig4):
+        p = csr_unfolded_loop(fig4, 3)
+        assert "residue" not in p.meta or p.meta.get("residue") is None
+        assert p.post == ()
+
+    def test_invalid_factor(self, fig4):
+        with pytest.raises(DFGError, match="factor"):
+            csr_unfolded_loop(fig4, 0)
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("f", [1, 2, 3, 4, 5])
+    @pytest.mark.parametrize("n", [0, 1, 2, 3, 5, 7, 12])
+    def test_every_factor_and_residue(self, fig4, f, n):
+        """One single program per factor handles every trip count — the
+        point of the single-register scheme."""
+        assert_equivalent(fig4, csr_unfolded_loop(fig4, f), n)
+
+    def test_benchmarks(self, bench_graph):
+        p = csr_unfolded_loop(bench_graph, 3)
+        for n in (4, 10, 11):
+            assert_equivalent(bench_graph, p, n)
+
+    def test_disabled_matches_padding(self, fig4):
+        """With n = 7 and f = 3, the third outer iteration disables the two
+        out-of-range copies: 2 * |V| disabled computes."""
+        res = run_program(csr_unfolded_loop(fig4, 3), 7)
+        assert res.disabled == 2 * 3
+        assert res.executed == 7 * 3

@@ -1,0 +1,61 @@
+"""Tests for the semantic verification utility itself."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.codegen import ComputeInstr, IndexExpr, Loop, LoopProgram, Operand, original_loop
+from repro.core import EquivalenceError, assert_equivalent, equivalent, reference_result
+from repro.graph import OpKind
+
+
+class TestVerify:
+    def test_original_is_equivalent_to_itself(self, fig4):
+        assert_equivalent(fig4, original_loop(fig4), 10)
+
+    def test_reference_result(self, fig4):
+        res = reference_result(fig4, 4)
+        assert sorted(res.arrays["C"]) == [1, 2, 3, 4]
+
+    def test_missing_instance_diagnosed(self, fig4):
+        p = original_loop(fig4)
+        truncated = replace(
+            p, loop=Loop(p.loop.start, IndexExpr.trip(-1), 1, p.loop.body)
+        )
+        with pytest.raises(EquivalenceError, match="never computed"):
+            assert_equivalent(fig4, truncated, 5)
+
+    def test_wrong_value_diagnosed(self, fig4):
+        p = original_loop(fig4)
+        body = list(p.loop.body)
+        # Corrupt C's immediate: C[i] = B[i] * 99 instead of * 2.
+        body[2] = replace(body[2], imm=99)
+        bad = replace(p, loop=Loop(p.loop.start, p.loop.end, 1, tuple(body)))
+        with pytest.raises(EquivalenceError, match=r"C\[1\]"):
+            assert_equivalent(fig4, bad, 5)
+
+    def test_wrong_operand_diagnosed(self, fig4):
+        p = original_loop(fig4)
+        body = list(p.loop.body)
+        # A reads B[i-2] instead of B[i-3].
+        body[0] = replace(
+            body[0], srcs=(Operand("B", IndexExpr.loop(-2)),)
+        )
+        bad = replace(p, loop=Loop(p.loop.start, p.loop.end, 1, tuple(body)))
+        assert not equivalent(fig4, bad, 6)
+
+    def test_equivalent_boolean_true(self, fig4):
+        assert equivalent(fig4, original_loop(fig4), 3)
+
+    def test_vm_errors_count_as_nonequivalent(self, fig2):
+        """A program whose min_n exceeds n fails `equivalent` gracefully."""
+        from repro.codegen import pipelined_loop
+        from repro.retiming import minimize_cycle_period
+
+        _, r = minimize_cycle_period(fig2)
+        assert not equivalent(fig2, pipelined_loop(fig2, r), 1)
+
+    def test_custom_initial_state(self, fig4):
+        assert_equivalent(fig4, original_loop(fig4), 5, initial=lambda a, i: 42)

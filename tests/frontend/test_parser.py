@@ -1,0 +1,159 @@
+"""Tests for the loop-source parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import assert_equivalent, csr_pipelined_loop
+from repro.frontend import ParseError, parse_loop
+from repro.graph import OpKind
+from repro.retiming import minimize_cycle_period
+from repro.workloads import figure2_example, figure4_loop
+
+FIGURE2_SOURCE = """
+A[i] = E[i-4] + 9
+B[i] = A[i] * 5
+C[i] = A[i] + B[i-2]
+D[i] = A[i] * C[i]
+E[i] = D[i] + 30
+"""
+
+FIGURE4_SOURCE = """
+A[i] = B[i-3] * 3;
+B[i] = A[i] + 7;
+C[i] = B[i] * 2;
+"""
+
+
+class TestPaperSources:
+    def test_figure2_roundtrip(self):
+        """Parsing the paper's Figure-3(a) source reproduces the hand-built
+        figure2 workload graph — ops, immediates, edges, delays."""
+        parsed = parse_loop(FIGURE2_SOURCE, name="figure2")
+        hand = figure2_example()
+        assert parsed.num_nodes == hand.num_nodes
+        for v in hand.nodes():
+            p = parsed.node(v.name)
+            assert (p.op, p.imm) == (v.op, v.imm), v.name
+        assert {(e.src, e.dst, e.delay) for e in parsed.edges()} == {
+            (e.src, e.dst, e.delay) for e in hand.edges()
+        }
+
+    def test_figure4_roundtrip(self):
+        parsed = parse_loop(FIGURE4_SOURCE)
+        hand = figure4_loop()
+        assert {(e.src, e.dst, e.delay) for e in parsed.edges()} == {
+            (e.src, e.dst, e.delay) for e in hand.edges()
+        }
+
+    def test_parsed_graph_flows_through_pipeline(self):
+        """Front-end to back-end: parse, retime, reduce, verify."""
+        g = parse_loop(FIGURE2_SOURCE)
+        _, r = minimize_cycle_period(g)
+        assert_equivalent(g, csr_pipelined_loop(g, r), 17)
+
+
+class TestShapes:
+    def test_copy(self):
+        g = parse_loop("A[i] = B[i-1]\nB[i] = A[i-1] + 1")
+        assert g.node("A").op is OpKind.COPY
+
+    def test_ref_plus_const_is_add(self):
+        g = parse_loop("A[i] = B[i-1] + 4\nB[i] = A[i-1]")
+        assert g.node("A").op is OpKind.ADD
+        assert g.node("A").imm == 4
+
+    def test_add_multiple_refs(self):
+        g = parse_loop("S[i] = A[i-1] + B[i-2] + 7\nA[i] = S[i-1]\nB[i] = S[i-2]")
+        assert g.node("S").op is OpKind.ADD
+        assert g.node("S").imm == 7
+        assert len(g.in_edges("S")) == 2
+
+    def test_mul_with_constant(self):
+        g = parse_loop("A[i] = A[i-1] * 3")
+        assert g.node("A").op is OpKind.MUL
+        assert g.node("A").imm == 3
+
+    def test_product_of_refs(self):
+        g = parse_loop("P[i] = A[i-1] * B[i-1]\nA[i] = P[i-1]\nB[i] = P[i-2]")
+        assert g.node("P").op is OpKind.MUL
+        assert g.node("P").imm == 1
+
+    def test_mac(self):
+        g = parse_loop(
+            "M[i] = A[i-1] * B[i-1] + C[i-2]\n"
+            "A[i] = M[i-1]\nB[i] = M[i-2]\nC[i] = M[i-1]"
+        )
+        assert g.node("M").op is OpKind.MAC
+
+    def test_sub_chain(self):
+        g = parse_loop("U[i] = U[i-1] - V[i-2] - 3\nV[i] = U[i-1]")
+        assert g.node("U").op is OpKind.SUB
+        assert g.node("U").imm == -3
+
+    def test_source(self):
+        g = parse_loop("X[i] = input(5)\nY[i] = X[i] + X[i-1]")
+        assert g.node("X").op is OpKind.SOURCE
+        assert g.node("X").imm == 5
+
+    def test_comments_and_blanks(self):
+        g = parse_loop(
+            """
+            # a comment
+            A[i] = A[i-1] + 1   // trailing comment
+
+            """
+        )
+        assert g.num_nodes == 1
+
+    def test_negative_constant(self):
+        g = parse_loop("A[i] = A[i-1] + -2")
+        assert g.node("A").op is OpKind.ADD
+        assert g.node("A").imm == -2
+
+
+class TestErrors:
+    def test_forward_reference_rejected(self):
+        with pytest.raises(ParseError, match="forward reference"):
+            parse_loop("A[i] = A[i+1] + 1")
+
+    def test_current_index_allowed(self):
+        g = parse_loop("A[i] = B[i] + 1\nB[i] = A[i-1]")
+        delays = {(e.src, e.dst): e.delay for e in g.edges()}
+        assert delays[("B", "A")] == 0
+
+    def test_double_assignment_rejected(self):
+        with pytest.raises(ParseError, match="already assigned"):
+            parse_loop("A[i] = A[i-1] + 1\nA[i] = A[i-2] + 2")
+
+    def test_unknown_array_rejected(self):
+        with pytest.raises(ParseError, match="never assigned"):
+            parse_loop("A[i] = Z[i-1] + 1")
+
+    def test_missing_equals(self):
+        with pytest.raises(ParseError, match="expected"):
+            parse_loop("A[i] + 1")
+
+    def test_bad_lhs(self):
+        with pytest.raises(ParseError, match="left-hand side"):
+            parse_loop("A[i-1] = B[i] + 1")
+
+    def test_constant_only_rhs(self):
+        with pytest.raises(ParseError, match="constant-only"):
+            parse_loop("A[i] = 5")
+
+    def test_garbage_term(self):
+        with pytest.raises(ParseError, match="cannot parse"):
+            parse_loop("A[i] = B[j] + 1")
+
+    def test_zero_delay_cycle_rejected(self):
+        with pytest.raises(Exception, match="zero-delay cycle"):
+            parse_loop("A[i] = B[i] + 1\nB[i] = A[i] + 1")
+
+    def test_dangling_operator(self):
+        with pytest.raises(ParseError, match="dangling"):
+            parse_loop("A[i] = B[i-1] +")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(ParseError, match="line 3"):
+            parse_loop("A[i] = A[i-1] + 1\nB[i] = A[i]\nC[i] = Q[j]")

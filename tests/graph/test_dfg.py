@@ -1,0 +1,216 @@
+"""Unit tests for the DFG data structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import DFG, DFGError, OpKind
+from repro.graph.dfg import evaluate_op
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = DFG("g")
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+        assert len(g) == 0
+
+    def test_add_node_defaults(self):
+        g = DFG()
+        node = g.add_node("A")
+        assert node.time == 1
+        assert node.op is OpKind.ADD
+        assert node.imm == 0
+
+    def test_add_node_attributes(self):
+        g = DFG()
+        node = g.add_node("A", time=3, op=OpKind.MUL, imm=-5)
+        assert (node.time, node.op, node.imm) == (3, OpKind.MUL, -5)
+
+    def test_duplicate_node_rejected(self):
+        g = DFG()
+        g.add_node("A")
+        with pytest.raises(DFGError, match="duplicate node"):
+            g.add_node("A")
+
+    def test_nonpositive_time_rejected(self):
+        g = DFG()
+        with pytest.raises(DFGError, match="time"):
+            g.add_node("A", time=0)
+
+    def test_negative_delay_rejected(self):
+        g = DFG()
+        g.add_node("A")
+        g.add_node("B")
+        with pytest.raises(DFGError, match="delay"):
+            g.add_edge("A", "B", -1)
+
+    def test_edge_to_unknown_node_rejected(self):
+        g = DFG()
+        g.add_node("A")
+        with pytest.raises(DFGError, match="unknown"):
+            g.add_edge("A", "B", 0)
+        with pytest.raises(DFGError, match="unknown"):
+            g.add_edge("B", "A", 0)
+
+    def test_parallel_edges_get_distinct_keys(self):
+        g = DFG()
+        g.add_node("A")
+        g.add_node("B")
+        e1 = g.add_edge("A", "B", 1)
+        e2 = g.add_edge("A", "B", 2)
+        assert e1.key != e2.key
+        assert g.num_edges == 2
+
+    def test_explicit_duplicate_key_rejected(self):
+        g = DFG()
+        g.add_node("A")
+        g.add_node("B")
+        g.add_edge("A", "B", 1, key=0)
+        with pytest.raises(DFGError, match="duplicate edge"):
+            g.add_edge("A", "B", 2, key=0)
+
+    def test_self_loop_allowed(self):
+        g = DFG()
+        g.add_node("A")
+        e = g.add_edge("A", "A", 1)
+        assert e.src == e.dst == "A"
+
+
+class TestQueries:
+    @pytest.fixture
+    def diamond(self) -> DFG:
+        g = DFG("diamond")
+        for n in "ABCD":
+            g.add_node(n)
+        g.add_edge("A", "B", 0)
+        g.add_edge("A", "C", 1)
+        g.add_edge("B", "D", 0)
+        g.add_edge("C", "D", 2)
+        g.add_edge("D", "A", 3)
+        return g
+
+    def test_totals(self, diamond):
+        assert diamond.num_nodes == 4
+        assert diamond.num_edges == 5
+        assert diamond.total_delay == 6
+        assert diamond.total_time == 4
+
+    def test_in_out_edges(self, diamond):
+        assert [e.dst for e in diamond.out_edges("A")] == ["B", "C"]
+        assert [e.src for e in diamond.in_edges("D")] == ["B", "C"]
+
+    def test_in_edge_order_is_insertion_order(self):
+        g = DFG()
+        for n in "ABC":
+            g.add_node(n)
+        g.add_edge("C", "A", 1)
+        g.add_edge("B", "A", 0)
+        assert [e.src for e in g.in_edges("A")] == ["C", "B"]
+
+    def test_predecessors_successors(self, diamond):
+        assert diamond.predecessors("D") == ["B", "C"]
+        assert diamond.successors("A") == ["B", "C"]
+
+    def test_predecessors_deduplicated(self):
+        g = DFG()
+        g.add_node("A")
+        g.add_node("B")
+        g.add_edge("A", "B", 0)
+        g.add_edge("A", "B", 1)
+        assert g.predecessors("B") == ["A"]
+
+    def test_zero_delay_edges(self, diamond):
+        assert {(e.src, e.dst) for e in diamond.zero_delay_edges()} == {
+            ("A", "B"),
+            ("B", "D"),
+        }
+
+    def test_unknown_node_lookup(self, diamond):
+        with pytest.raises(DFGError, match="unknown node"):
+            diamond.node("Z")
+        with pytest.raises(DFGError):
+            diamond.in_edges("Z")
+
+    def test_contains(self, diamond):
+        assert "A" in diamond
+        assert "Z" not in diamond
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self, two_node_cycle):
+        g2 = two_node_cycle.copy()
+        g2.add_node("C")
+        assert two_node_cycle.num_nodes == 2
+        assert g2.num_nodes == 3
+
+    def test_copy_equal(self, two_node_cycle):
+        assert two_node_cycle.copy() == two_node_cycle
+
+    def test_with_delays_changes_only_named_edges(self, two_node_cycle):
+        edge = next(iter(two_node_cycle.edges()))
+        g2 = two_node_cycle.with_delays({edge.ident: 7})
+        delays = {e.ident: e.delay for e in g2.edges()}
+        assert delays[edge.ident] == 7
+        assert g2.num_edges == two_node_cycle.num_edges
+
+    def test_with_delays_preserves_operand_order(self):
+        g = DFG()
+        for n in "ABC":
+            g.add_node(n)
+        g.add_edge("C", "A", 2)
+        g.add_edge("B", "A", 0)
+        g2 = g.with_delays({})
+        assert [e.src for e in g2.in_edges("A")] == ["C", "B"]
+
+    def test_networkx_roundtrip(self, two_node_cycle):
+        nxg = two_node_cycle.to_networkx()
+        back = DFG.from_networkx(nxg, name=two_node_cycle.name)
+        assert back == two_node_cycle
+
+    def test_networkx_export_attributes(self, two_node_cycle):
+        nxg = two_node_cycle.to_networkx()
+        assert nxg.nodes["A"]["op"] is OpKind.ADD
+        assert nxg.nodes["A"]["imm"] == 1
+        delays = sorted(d["delay"] for _, _, d in nxg.edges(data=True))
+        assert delays == [0, 2]
+
+
+class TestEvaluateOp:
+    def test_add(self):
+        assert evaluate_op(OpKind.ADD, 5, [1, 2], 1) == 8
+
+    def test_add_no_inputs(self):
+        assert evaluate_op(OpKind.ADD, 5, [], 1) == 5
+
+    def test_sub(self):
+        assert evaluate_op(OpKind.SUB, 1, [10, 3, 2], 1) == 6
+
+    def test_sub_no_inputs(self):
+        assert evaluate_op(OpKind.SUB, 4, [], 1) == 4
+
+    def test_mul(self):
+        assert evaluate_op(OpKind.MUL, 2, [3, 4], 1) == 24
+
+    def test_mac(self):
+        assert evaluate_op(OpKind.MAC, 1, [2, 3, 4], 1) == 11
+
+    def test_mac_arity_checked(self):
+        with pytest.raises(DFGError, match="MAC"):
+            evaluate_op(OpKind.MAC, 0, [2], 1)
+
+    def test_copy(self):
+        assert evaluate_op(OpKind.COPY, 3, [10], 1) == 13
+
+    def test_copy_arity_checked(self):
+        with pytest.raises(DFGError, match="COPY"):
+            evaluate_op(OpKind.COPY, 0, [1, 2], 1)
+
+    def test_source_depends_on_instance(self):
+        v1 = evaluate_op(OpKind.SOURCE, 3, [], 1)
+        v2 = evaluate_op(OpKind.SOURCE, 3, [], 2)
+        assert v1 != v2
+
+    def test_source_rejects_inputs(self):
+        with pytest.raises(DFGError, match="SOURCE"):
+            evaluate_op(OpKind.SOURCE, 0, [1], 1)

@@ -1,0 +1,66 @@
+"""Tests for the random DFG generators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph import cycle_period, is_valid, iteration_bound, validate
+from repro.graph.generators import line_dfg, random_dfg, random_unit_time_dfg, ring_dfg
+
+
+class TestRandomDFG:
+    def test_deterministic_for_seed(self):
+        g1 = random_dfg(random.Random(42), num_nodes=8, extra_edges=6)
+        g2 = random_dfg(random.Random(42), num_nodes=8, extra_edges=6)
+        assert g1 == g2
+
+    def test_different_seeds_differ(self):
+        g1 = random_dfg(random.Random(1), num_nodes=8, extra_edges=6)
+        g2 = random_dfg(random.Random(2), num_nodes=8, extra_edges=6)
+        assert g1 != g2
+
+    def test_node_count(self):
+        g = random_dfg(random.Random(0), num_nodes=11)
+        assert g.num_nodes == 11
+
+    def test_always_valid(self):
+        for seed in range(50):
+            g = random_dfg(random.Random(seed), num_nodes=7, extra_edges=8)
+            validate(g)
+
+    def test_unit_time_variant(self):
+        g = random_unit_time_dfg(random.Random(3), num_nodes=9)
+        assert all(v.time == 1 for v in g.nodes())
+
+    def test_single_node(self):
+        g = random_dfg(random.Random(0), num_nodes=1, extra_edges=3)
+        assert g.num_nodes == 1
+        validate(g)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            random_dfg(random.Random(0), num_nodes=0)
+        with pytest.raises(ValueError):
+            random_dfg(random.Random(0), max_delay=0)
+
+
+class TestStructuredGenerators:
+    def test_line_period(self):
+        assert cycle_period(line_dfg(5)) == 5
+
+    def test_line_bound(self):
+        assert iteration_bound(line_dfg(6, delay_last=2)) == 3
+
+    def test_ring_bound(self):
+        from fractions import Fraction
+
+        assert iteration_bound(ring_dfg(7, 3)) == Fraction(7, 3)
+
+    def test_ring_requires_delay(self):
+        with pytest.raises(ValueError):
+            ring_dfg(3, 0)
+
+    def test_line_valid(self):
+        assert is_valid(line_dfg(4))

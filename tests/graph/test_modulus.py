@@ -1,0 +1,53 @@
+"""Tests for the modular evaluation ring.
+
+Multiplicative loop recurrences (e.g. the paper's ``D[i] = A[i] * C[i]``)
+square value magnitudes every few iterations; the VM therefore evaluates in
+``Z mod (2**61 - 1)``.  These tests pin the reduction semantics and verify
+that long executions stay bounded.
+"""
+
+from __future__ import annotations
+
+from repro.graph import MODULUS, DFG, OpKind, evaluate_op
+from repro.machine import run_program
+from repro.codegen import original_loop
+
+
+class TestModulus:
+    def test_modulus_is_mersenne_prime(self):
+        assert MODULUS == 2**61 - 1
+
+    def test_results_in_range(self):
+        assert 0 <= evaluate_op(OpKind.MUL, 10**30, [10**30], 1) < MODULUS
+
+    def test_sub_wraps_into_ring(self):
+        v = evaluate_op(OpKind.SUB, 0, [1, 5], 1)  # 1 - 5 = -4 mod p
+        assert v == MODULUS - 4
+
+    def test_small_values_unchanged(self):
+        assert evaluate_op(OpKind.ADD, 5, [1, 2], 1) == 8
+        assert evaluate_op(OpKind.MUL, 2, [3, 4], 1) == 24
+
+    def test_reduction_is_compositional(self):
+        """Reducing at every step equals reducing once at the end."""
+        a, b, c = 2**40, 2**50, 2**37
+        step = evaluate_op(OpKind.MUL, 1, [evaluate_op(OpKind.MUL, 1, [a, b], 1), c], 1)
+        assert step == (a * b * c) % MODULUS
+
+    def test_multiplicative_recurrence_stays_bounded(self):
+        """The figure-2 shape (D = A * C) runs 500 iterations in bounded
+        values — infeasible without reduction."""
+        from repro.workloads import figure2_example
+
+        g = figure2_example()
+        res = run_program(original_loop(g), 500)
+        assert all(
+            0 <= v < MODULUS for store in res.arrays.values() for v in store.values()
+        )
+
+    def test_volterra_long_run(self):
+        from repro.workloads import volterra_filter
+
+        g = volterra_filter()
+        res = run_program(original_loop(g), 200)
+        assert res.executed == 200 * g.num_nodes

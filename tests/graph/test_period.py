@@ -1,0 +1,114 @@
+"""Tests for cycle period, ASAP/ALAP times and critical paths."""
+
+from __future__ import annotations
+
+from hypothesis import given
+
+from repro.graph import (
+    DFG,
+    alap_times,
+    asap_times,
+    critical_path,
+    cycle_period,
+)
+
+from ..conftest import dfgs, timed_dfgs
+
+
+class TestCyclePeriod:
+    def test_figure1(self, fig1):
+        assert cycle_period(fig1) == 2
+
+    def test_figure2(self, fig2):
+        # Zero-delay chain A -> C -> D -> E (B is cut by the delay on B->C).
+        assert cycle_period(fig2) == 4
+
+    def test_figure4(self, fig4):
+        assert cycle_period(fig4) == 3
+
+    def test_single_node(self):
+        g = DFG()
+        g.add_node("A", time=5)
+        assert cycle_period(g) == 5
+
+    def test_all_edges_delayed(self):
+        g = DFG()
+        g.add_node("A")
+        g.add_node("B", time=3)
+        g.add_edge("A", "B", 1)
+        g.add_edge("B", "A", 1)
+        assert cycle_period(g) == 3  # max single node time
+
+    def test_non_unit_times(self, fig8):
+        # Zero-delay chain A(2) B(10) C(3) D(7) E(5).
+        assert cycle_period(fig8) == 27
+
+
+class TestAsapAlap:
+    def test_asap_chain(self):
+        g = DFG()
+        g.add_node("A", time=2)
+        g.add_node("B", time=3)
+        g.add_node("C")
+        g.add_edge("A", "B", 0)
+        g.add_edge("B", "C", 0)
+        assert asap_times(g) == {"A": 0, "B": 2, "C": 5}
+
+    def test_alap_chain(self):
+        g = DFG()
+        g.add_node("A", time=2)
+        g.add_node("B", time=3)
+        g.add_node("C")
+        g.add_edge("A", "B", 0)
+        g.add_edge("B", "C", 0)
+        assert alap_times(g) == {"A": 0, "B": 2, "C": 5}
+
+    def test_alap_with_slack(self):
+        g = DFG()
+        g.add_node("A")
+        g.add_node("B", time=3)
+        g.add_node("C")
+        g.add_edge("A", "C", 0)
+        g.add_edge("B", "C", 0)
+        # Period is 4; A can slip to step 2.
+        assert alap_times(g)["A"] == 2
+
+    def test_alap_with_horizon(self):
+        g = DFG()
+        g.add_node("A")
+        assert alap_times(g, horizon=10) == {"A": 9}
+
+    @given(timed_dfgs())
+    def test_alap_never_before_asap(self, g):
+        asap = asap_times(g)
+        alap = alap_times(g)
+        for n in g.node_names():
+            assert alap[n] >= asap[n]
+
+    @given(timed_dfgs())
+    def test_period_is_max_completion(self, g):
+        asap = asap_times(g)
+        assert cycle_period(g) == max(asap[v.name] + v.time for v in g.nodes())
+
+
+class TestCriticalPath:
+    def test_path_length_equals_period(self, fig2):
+        path = critical_path(fig2)
+        assert sum(fig2.node(n).time for n in path) == cycle_period(fig2)
+
+    def test_path_edges_are_zero_delay(self, fig2):
+        path = critical_path(fig2)
+        for a, b in zip(path, path[1:]):
+            assert any(
+                e.delay == 0 for e in fig2.out_edges(a) if e.dst == b
+            ), f"{a}->{b} is not a zero-delay edge"
+
+    @given(dfgs())
+    def test_property_path_time_is_period(self, g):
+        path = critical_path(g)
+        assert sum(g.node(n).time for n in path) == cycle_period(g)
+
+    @given(timed_dfgs())
+    def test_property_nonunit_path_time_is_period(self, g):
+        path = critical_path(g)
+        assert sum(g.node(n).time for n in path) == cycle_period(g)

@@ -1,0 +1,76 @@
+"""Tests for JSON round-tripping and DOT export."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graph import DFG, DFGError
+from repro.graph.serialize import from_json, to_dot, to_json
+
+from ..conftest import timed_dfgs
+
+
+class TestJson:
+    def test_roundtrip_benchmarks(self, bench_graph):
+        assert from_json(to_json(bench_graph)) == bench_graph
+
+    def test_roundtrip_preserves_name(self, fig8):
+        assert from_json(to_json(fig8)).name == "figure8"
+
+    def test_roundtrip_parallel_edges(self):
+        g = DFG("par")
+        g.add_node("A")
+        g.add_node("B")
+        g.add_edge("A", "B", 1)
+        g.add_edge("A", "B", 2)
+        g.add_edge("B", "A", 3)
+        assert from_json(to_json(g)) == g
+
+    @given(timed_dfgs())
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_random(self, g):
+        assert from_json(to_json(g)) == g
+
+    def test_rejects_non_json(self):
+        with pytest.raises(DFGError, match="not valid JSON"):
+            from_json("{nope")
+
+    def test_rejects_wrong_format(self):
+        with pytest.raises(DFGError, match="not a repro-dfg"):
+            from_json('{"format": "something-else"}')
+
+    def test_rejects_malformed_nodes(self):
+        with pytest.raises(DFGError, match="malformed"):
+            from_json('{"format": "repro-dfg-v1", "nodes": [{}], "edges": []}')
+
+    def test_compact_form(self, fig1):
+        text = to_json(fig1, indent=None)
+        assert "\n" not in text
+        assert from_json(text) == fig1
+
+
+class TestDot:
+    def test_contains_all_nodes_and_edges(self, fig2):
+        dot = to_dot(fig2)
+        for v in fig2.node_names():
+            assert f'"{v}"' in dot
+        assert dot.count("->") == fig2.num_edges
+
+    def test_delays_labelled(self, fig2):
+        dot = to_dot(fig2)
+        assert 'label="4D"' in dot  # E -> A
+        assert 'label="2D"' in dot  # B -> C
+
+    def test_multipliers_are_boxes(self, fig2):
+        dot = to_dot(fig2)
+        assert '"B" [shape=box' in dot
+        assert '"A" [shape=ellipse' in dot
+
+    def test_non_unit_times_in_label(self, fig8):
+        assert "t=10" in to_dot(fig8)
+
+    def test_valid_digraph_syntax(self, fig1):
+        dot = to_dot(fig1)
+        assert dot.startswith('digraph "figure1" {')
+        assert dot.endswith("}")

@@ -1,0 +1,97 @@
+"""End-to-end pipeline: every program form, every benchmark, one truth.
+
+For each workload this builds all seven program forms — original,
+pipelined, CSR-pipelined, unfolded, CSR-unfolded, retimed-unfolded (+CSR),
+unfold-retimed (+CSR) — and requires bit-identical array states from the
+VM.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codegen import (
+    original_loop,
+    pipelined_loop,
+    retimed_unfolded_loop,
+    unfold_retimed_loop,
+    unfolded_loop,
+)
+from repro.core import (
+    assert_equivalent,
+    csr_pipelined_loop,
+    csr_retimed_unfolded_loop,
+    csr_unfold_retimed_loop,
+    csr_unfolded_loop,
+)
+from repro.retiming import minimize_cycle_period
+from repro.unfolding import retime_unfold, unfold_retime
+from repro.workloads import BENCHMARKS, get_workload
+
+FORMS_N = 23  # prime, not divisible by any factor used below
+FACTOR = 3
+
+
+def _all_programs(g):
+    _, r = minimize_cycle_period(g)
+    ru = retime_unfold(g, FACTOR)
+    ur = unfold_retime(g, FACTOR)
+    return [
+        pipelined_loop(g, r),
+        csr_pipelined_loop(g, r),
+        unfolded_loop(g, FACTOR, residue=FORMS_N % FACTOR),
+        csr_unfolded_loop(g, FACTOR),
+        retimed_unfolded_loop(
+            g, ru.retiming, FACTOR, (FORMS_N - ru.retiming.max_value) % FACTOR
+        ),
+        csr_retimed_unfolded_loop(g, ru.retiming, FACTOR),
+        unfold_retimed_loop(g, ur.retiming, FACTOR, residue=FORMS_N % FACTOR),
+        csr_unfold_retimed_loop(g, ur.retiming, FACTOR),
+    ]
+
+
+@pytest.mark.parametrize("name", BENCHMARKS + ("figure2", "figure4", "figure8"))
+def test_all_forms_equivalent(name):
+    g = get_workload(name)
+    for program in _all_programs(g):
+        assert_equivalent(g, program, FORMS_N)
+
+
+@pytest.mark.parametrize("name", ["iir", "figure4"])
+@pytest.mark.parametrize("n", [6, 7, 8, 9, 10])
+def test_forms_across_residues(name, n):
+    """Sweep trip counts across every residue class mod the factor."""
+    g = get_workload(name)
+    _, r = minimize_cycle_period(g)
+    ru = retime_unfold(g, FACTOR)
+    assert_equivalent(g, unfolded_loop(g, FACTOR, residue=n % FACTOR), n)
+    assert_equivalent(g, csr_unfolded_loop(g, FACTOR), n)
+    assert_equivalent(
+        g,
+        retimed_unfolded_loop(
+            g, ru.retiming, FACTOR, (n - ru.retiming.max_value) % FACTOR
+        ),
+        n,
+    )
+    assert_equivalent(g, csr_retimed_unfolded_loop(g, ru.retiming, FACTOR), n)
+
+
+def test_csr_code_sizes_strictly_smaller_across_suite():
+    """Summary invariant over every benchmark: CSR never loses to the
+    plain pipelined form (Table 1 as an inequality)."""
+    for name in BENCHMARKS:
+        g = get_workload(name)
+        _, r = minimize_cycle_period(g)
+        plain = pipelined_loop(g, r)
+        csr = csr_pipelined_loop(g, r)
+        assert csr.code_size < plain.code_size
+
+
+def test_executed_instruction_counts_identical():
+    """Beyond final state: every form executes exactly n computes per node."""
+    from repro.machine import run_program
+
+    g = get_workload("diffeq")
+    for program in _all_programs(g):
+        res = run_program(program, FORMS_N)
+        assert res.executed == FORMS_N * g.num_nodes

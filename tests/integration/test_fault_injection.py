@@ -1,0 +1,143 @@
+"""Fault injection: the verification net must catch broken transformations.
+
+Equivalence checking is only meaningful if it *fails* on incorrect code.
+Each test here mutates a correct conditional-register program in a way a
+buggy compiler might (off-by-one register init, missing decrement, wrong
+guard, wrong loop bound, swapped operand delay) and asserts the VM or the
+equivalence checker rejects it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.codegen import ComputeInstr, DecInstr, IndexExpr, Loop, SetupInstr
+from repro.core import EquivalenceError, assert_equivalent, csr_pipelined_loop, equivalent
+from repro.machine import MachineError
+from repro.retiming import minimize_cycle_period
+from repro.workloads import figure2_example
+
+N = 9
+
+
+@pytest.fixture
+def good():
+    g = figure2_example()
+    _, r = minimize_cycle_period(g)
+    return g, csr_pipelined_loop(g, r)
+
+
+def _with_body(program, body):
+    return replace(
+        program,
+        loop=Loop(program.loop.start, program.loop.end, program.loop.step, tuple(body)),
+    )
+
+
+class TestFaultsAreDetected:
+    def test_reference_program_passes(self, good):
+        g, p = good
+        assert_equivalent(g, p, N)
+
+    def test_off_by_one_register_init(self, good):
+        """Initializing a register one too high delays its class by one
+        iteration — instances go missing or double."""
+        g, p = good
+        pre = list(p.pre)
+        pre[0] = replace(pre[0], init=pre[0].init + 1)
+        bad = replace(p, pre=tuple(pre))
+        with pytest.raises((MachineError, EquivalenceError)):
+            assert_equivalent(g, bad, N)
+
+    def test_missing_decrement(self, good):
+        g, p = good
+        body = [i for i in p.loop.body]
+        drop = next(k for k, i in enumerate(body) if isinstance(i, DecInstr))
+        del body[drop]
+        bad = _with_body(p, body)
+        with pytest.raises((MachineError, EquivalenceError)):
+            assert_equivalent(g, bad, N)
+
+    def test_wrong_guard_register(self, good):
+        """Guarding A (r=3) with E's register executes A out of window."""
+        g, p = good
+        body = list(p.loop.body)
+        k = next(
+            k for k, i in enumerate(body) if isinstance(i, ComputeInstr) and i.node == "A"
+        )
+        body[k] = replace(body[k], guard=replace(body[k].guard, register="p4"))
+        bad = _with_body(p, body)
+        with pytest.raises((MachineError, EquivalenceError)):
+            assert_equivalent(g, bad, N)
+
+    def test_loop_start_off_by_one(self, good):
+        """Starting at 1 - M_r + 1 skips the first prologue iteration."""
+        g, p = good
+        bad = replace(
+            p,
+            loop=Loop(
+                IndexExpr.const(p.loop.start.offset + 1),
+                p.loop.end,
+                p.loop.step,
+                p.loop.body,
+            ),
+        )
+        with pytest.raises((MachineError, EquivalenceError)):
+            assert_equivalent(g, bad, N)
+
+    def test_loop_end_extension_is_harmless(self, good):
+        """Running extra trailing iterations is NOT a fault: every guard is
+        already past its window (p <= -LC), so the extended loop executes
+        nothing — the predicate design is robust to a sloppy upper bound."""
+        g, p = good
+        extended = replace(
+            p,
+            loop=Loop(p.loop.start, IndexExpr.trip(1), p.loop.step, p.loop.body),
+        )
+        assert_equivalent(g, extended, N)
+
+    def test_wrong_operand_delay(self, good):
+        """Reading B[i] instead of B[i-2] in C — values diverge."""
+        g, p = good
+        body = list(p.loop.body)
+        k = next(
+            k for k, i in enumerate(body) if isinstance(i, ComputeInstr) and i.node == "C"
+        )
+        srcs = list(body[k].srcs)
+        srcs[1] = replace(srcs[1], index=IndexExpr.loop(srcs[1].index.offset + 2))
+        body[k] = replace(body[k], srcs=tuple(srcs))
+        bad = _with_body(p, body)
+        assert not equivalent(g, bad, N)
+
+    def test_swapped_decrement_amount(self, good):
+        g, p = good
+        body = list(p.loop.body)
+        k = next(k for k, i in enumerate(body) if isinstance(i, DecInstr))
+        body[k] = replace(body[k], amount=2)
+        bad = _with_body(p, body)
+        with pytest.raises((MachineError, EquivalenceError)):
+            assert_equivalent(g, bad, N)
+
+    def test_dropped_instruction(self, good):
+        g, p = good
+        body = [
+            i
+            for i in p.loop.body
+            if not (isinstance(i, ComputeInstr) and i.node == "D")
+        ]
+        bad = _with_body(p, body)
+        # Detection may surface as a missing instance or as a downstream
+        # wrong value, whichever array sorts first in the diagnosis.
+        with pytest.raises(EquivalenceError):
+            assert_equivalent(g, bad, N)
+
+    def test_duplicated_instruction(self, good):
+        g, p = good
+        body = list(p.loop.body)
+        k = next(k for k, i in enumerate(body) if isinstance(i, ComputeInstr))
+        body.insert(k, body[k])
+        bad = _with_body(p, body)
+        with pytest.raises(MachineError, match="computed twice"):
+            assert_equivalent(g, bad, N)

@@ -1,0 +1,84 @@
+"""Property tests with *random* legal retimings (not optimizer witnesses).
+
+The optimizer's retimings have special structure (pointwise-maximal
+Bellman-Ford solutions).  These tests push delays through random node
+sequences instead, exercising code generation and CSR across the whole
+legal retiming space.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codegen import pipelined_loop, retimed_unfolded_loop
+from repro.core import (
+    assert_equivalent,
+    csr_pipelined_loop,
+    csr_retimed_unfolded_loop,
+    size_csr_pipelined,
+    size_pipelined,
+)
+from repro.machine import run_program
+
+from ..conftest import dfgs, random_legal_retiming
+
+
+@given(dfgs(max_nodes=6), st.integers(0, 2**32 - 1), st.integers(0, 12))
+@settings(max_examples=40, deadline=None)
+def test_pipelined_any_legal_retiming(g, seed, n):
+    r = random_legal_retiming(g, random.Random(seed))
+    if n >= r.max_value:
+        assert_equivalent(g, pipelined_loop(g, r), n)
+
+
+@given(dfgs(max_nodes=6), st.integers(0, 2**32 - 1), st.integers(0, 12))
+@settings(max_examples=40, deadline=None)
+def test_csr_any_legal_retiming(g, seed, n):
+    r = random_legal_retiming(g, random.Random(seed))
+    assert_equivalent(g, csr_pipelined_loop(g, r), n)
+
+
+@given(dfgs(max_nodes=5), st.integers(0, 2**32 - 1), st.integers(1, 3), st.integers(0, 10))
+@settings(max_examples=40, deadline=None)
+def test_combined_any_legal_retiming(g, seed, f, n):
+    r = random_legal_retiming(g, random.Random(seed))
+    assert_equivalent(g, csr_retimed_unfolded_loop(g, r, f), n)
+    if n >= r.max_value:
+        leftover = (n - r.max_value) % f
+        assert_equivalent(g, retimed_unfolded_loop(g, r, f, leftover), n)
+
+
+@given(dfgs(max_nodes=6), st.integers(0, 2**32 - 1))
+@settings(max_examples=40, deadline=None)
+def test_size_models_any_legal_retiming(g, seed):
+    r = random_legal_retiming(g, random.Random(seed))
+    assert pipelined_loop(g, r).code_size == size_pipelined(g, r)
+    assert csr_pipelined_loop(g, r).code_size == size_csr_pipelined(g, r)
+
+
+@given(dfgs(max_nodes=5), st.integers(0, 2**32 - 1))
+@settings(max_examples=30, deadline=None)
+def test_plain_and_csr_agree_any_retiming(g, seed):
+    r = random_legal_retiming(g, random.Random(seed))
+    n = 9 + r.max_value
+    a = run_program(pipelined_loop(g, r), n)
+    b = run_program(csr_pipelined_loop(g, r), n)
+    assert a.arrays == b.arrays
+
+
+@given(dfgs(max_nodes=5), st.integers(0, 2**32 - 1), st.integers(2, 4), st.integers(0, 10))
+@settings(max_examples=30, deadline=None)
+def test_decrement_modes_agree_randomly(g, seed, f, n):
+    """Per-copy and per-iteration decrement placement are two encodings of
+    the same predicate schedule: identical array states for random graphs,
+    retimings, factors and trip counts."""
+    from repro.core import PER_COPY, PER_ITERATION
+
+    r = random_legal_retiming(g, random.Random(seed))
+    a = run_program(csr_retimed_unfolded_loop(g, r, f, PER_COPY), n)
+    b = run_program(csr_retimed_unfolded_loop(g, r, f, PER_ITERATION), n)
+    assert a.arrays == b.arrays
+    assert a.executed == b.executed

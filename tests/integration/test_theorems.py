@@ -1,0 +1,149 @@
+"""Each theorem of Section 4 as an executable check.
+
+These tests state the paper's theorems in terms of generated programs and
+VM executions, so the suite doubles as a machine-checked reading of the
+paper's theory section.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codegen import original_loop, pipelined_loop
+from repro.core import (
+    assert_equivalent,
+    csr_pipelined_loop,
+    csr_retimed_unfolded_loop,
+    size_retime_unfold,
+    size_unfold_retime,
+)
+from repro.machine import run_program
+from repro.retiming import minimize_cycle_period
+from repro.unfolding import retime_unfold, unfold_retime
+from repro.workloads import get_workload
+
+
+class TestTheorem41And42:
+    """Prologue and epilogue are correctly replaced by conditionally
+    executing the loop body M_r extra times."""
+
+    def test_execution_counts(self, fig2):
+        _, r = minimize_cycle_period(fig2)
+        n = 12
+        p = csr_pipelined_loop(fig2, r)
+        res = run_program(p, n, trace=True)
+        # The loop body runs n + M_r times...
+        assert p.loop.trip_count(n) == n + r.max_value
+        # ...and each node executes exactly n times within it.
+        for v in fig2.node_names():
+            assert res.trace.instances_of(v) == list(range(1, n + 1))
+
+    def test_node_start_iteration(self, fig2):
+        """A node with retiming value r(v) first executes in iteration
+        M_r - r(v) + 1 of the extended loop (Theorem 4.1's indexing)."""
+        _, r = minimize_cycle_period(fig2)
+        p = csr_pipelined_loop(fig2, r)
+        res = run_program(p, 10, trace=True)
+        base = p.loop.start.resolve(None, 10)
+        first_i = {}
+        for e in res.trace.events:
+            if e.node not in first_i:
+                first_i[e.node] = e.i
+        m = r.max_value
+        for v in fig2.node_names():
+            # Iteration index (1-based) within the extended loop:
+            k = first_i[v] - base + 1
+            assert k == m - r[v] + 1
+
+    def test_agreement_with_explicit_prologue_epilogue(self, bench_graph):
+        """The CSR program and the explicit prologue/body/epilogue program
+        compute identical array states."""
+        _, r = minimize_cycle_period(bench_graph)
+        n = 9
+        a = run_program(pipelined_loop(bench_graph, r), n)
+        b = run_program(csr_pipelined_loop(bench_graph, r), n)
+        assert a.arrays == b.arrays
+
+
+class TestTheorem43:
+    """|N_r| conditional registers achieve the optimal code size."""
+
+    def test_register_count(self, bench_graph):
+        _, r = minimize_cycle_period(bench_graph)
+        p = csr_pipelined_loop(bench_graph, r)
+        assert len(p.registers()) == len(r.distinct_values())
+
+    def test_optimal_size_is_body_plus_overhead(self, bench_graph):
+        """'The minimal code size required for a correct execution is only
+        the code size of the loop body' — plus the register management."""
+        _, r = minimize_cycle_period(bench_graph)
+        p = csr_pipelined_loop(bench_graph, r)
+        assert p.compute_size == bench_graph.num_nodes
+        assert p.overhead_size == 2 * len(r.distinct_values())
+
+    def test_fails_with_fewer_registers(self, fig2):
+        """With a register file smaller than |N_r| the program cannot even
+        be loaded — the machine enforces Theorem 4.3's lower bound."""
+        from repro.machine import MachineError
+
+        _, r = minimize_cycle_period(fig2)
+        p = csr_pipelined_loop(fig2, r)
+        with pytest.raises(MachineError):
+            run_program(p, 6, register_capacity=r.registers_needed() - 1)
+
+
+class TestTheorems44And45:
+    """Code sizes of the two orders; S_{r,f} <= S_{f,r}."""
+
+    @pytest.mark.parametrize("name", ["iir", "diffeq", "lattice"])
+    @pytest.mark.parametrize("f", [2, 3])
+    def test_order_inequality_at_matched_period(self, name, f):
+        g = get_workload(name)
+        ru = retime_unfold(g, f)
+        ur = unfold_retime(g, f, period=ru.period)
+        assert size_retime_unfold(g, ru.retiming, f) <= size_unfold_retime(
+            g, ur.retiming, f
+        )
+
+    def test_formula_terms(self, fig4):
+        """S_{f,r} = (M+1) * L * f and S_{r,f} = (M_rf + f) * L."""
+        f = 3
+        ru = retime_unfold(fig4, f)
+        ur = unfold_retime(fig4, f, period=ru.period)
+        L = fig4.num_nodes
+        assert size_retime_unfold(fig4, ru.retiming, f) == (
+            ru.retiming.max_value + f
+        ) * L
+        assert size_unfold_retime(fig4, ur.retiming, f) == (
+            ur.retiming.max_value + 1
+        ) * L * f
+
+
+class TestTheorems46And47:
+    """CSR for retimed-unfolded loops: correct, and with P_{r,f} = P_r."""
+
+    @pytest.mark.parametrize("f", [2, 3, 4])
+    def test_register_invariance(self, bench_graph, f):
+        _, r = minimize_cycle_period(bench_graph)
+        p1 = csr_pipelined_loop(bench_graph, r)
+        pf = csr_retimed_unfolded_loop(bench_graph, r, f)
+        assert len(pf.registers()) == len(p1.registers())
+
+    @pytest.mark.parametrize("f", [2, 3])
+    @pytest.mark.parametrize("n", [0, 1, 5, 11, 12, 13])
+    def test_correct_replacement(self, fig2, f, n):
+        _, r = minimize_cycle_period(fig2)
+        assert_equivalent(fig2, csr_retimed_unfolded_loop(fig2, r, f), n)
+
+    def test_prologue_hidden_in_ceil_mr_over_f_iterations(self, fig2):
+        """Theorem 4.6: the prologue is absorbed by ceil(M_r / f) extra
+        unfolded iterations."""
+        import math
+
+        _, r = minimize_cycle_period(fig2)
+        f = 2
+        p = csr_retimed_unfolded_loop(fig2, r, f)
+        n = 10
+        plain_iterations = math.ceil(n / f)
+        extra = p.loop.trip_count(n) - plain_iterations
+        assert extra == math.ceil(r.max_value / f)

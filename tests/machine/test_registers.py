@@ -1,0 +1,100 @@
+"""Tests for the conditional-register file semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codegen import Guard
+from repro.machine import ConditionalRegisterFile, MachineError
+
+
+class TestWindow:
+    """The paper's predicate window: active iff -LC < p + offset <= 0."""
+
+    def test_active_at_zero(self):
+        regs = ConditionalRegisterFile(trip_count=10)
+        regs.setup("p", 0)
+        assert regs.is_active(Guard("p"))
+
+    def test_disabled_when_positive(self):
+        regs = ConditionalRegisterFile(trip_count=10)
+        regs.setup("p", 3)
+        assert not regs.is_active(Guard("p"))
+
+    def test_becomes_active_after_decrements(self):
+        regs = ConditionalRegisterFile(trip_count=10)
+        regs.setup("p", 2)
+        regs.decrement("p")
+        assert not regs.is_active(Guard("p"))
+        regs.decrement("p")
+        assert regs.is_active(Guard("p"))
+
+    def test_disabled_at_negative_boundary(self):
+        regs = ConditionalRegisterFile(trip_count=3)
+        regs.setup("p", -2)
+        assert regs.is_active(Guard("p"))  # p = -2 > -3
+        regs.decrement("p")
+        assert not regs.is_active(Guard("p"))  # p = -3, not > -LC
+
+    def test_offset_shifts_window(self):
+        regs = ConditionalRegisterFile(trip_count=5)
+        regs.setup("p", 1)
+        assert not regs.is_active(Guard("p", 0))
+        assert regs.is_active(Guard("p", -1))
+
+    def test_unguarded_always_active(self):
+        regs = ConditionalRegisterFile(trip_count=0)
+        assert regs.is_active(None)
+
+    def test_window_exactly_n_wide(self):
+        """A register swept from M downward enables exactly n iterations."""
+        n = 7
+        regs = ConditionalRegisterFile(trip_count=n)
+        regs.setup("p", 3)
+        active = 0
+        for _ in range(30):
+            if regs.is_active(Guard("p")):
+                active += 1
+            regs.decrement("p")
+        assert active == n
+
+
+class TestFileSemantics:
+    def test_decrement_amount(self):
+        regs = ConditionalRegisterFile(trip_count=10)
+        regs.setup("p", 0)
+        regs.decrement("p", 3)
+        assert regs.value("p") == -3
+
+    def test_decrement_before_setup(self):
+        regs = ConditionalRegisterFile(trip_count=10)
+        with pytest.raises(MachineError, match="before setup"):
+            regs.decrement("p")
+
+    def test_read_before_setup(self):
+        regs = ConditionalRegisterFile(trip_count=10)
+        with pytest.raises(MachineError, match="before setup"):
+            regs.value("p")
+
+    def test_capacity_enforced(self):
+        regs = ConditionalRegisterFile(trip_count=10, capacity=2)
+        regs.setup("p1", 0)
+        regs.setup("p2", 0)
+        with pytest.raises(MachineError, match="exhausted"):
+            regs.setup("p3", 0)
+
+    def test_re_setup_does_not_consume_capacity(self):
+        regs = ConditionalRegisterFile(trip_count=10, capacity=1)
+        regs.setup("p1", 0)
+        regs.setup("p1", 5)
+        assert regs.value("p1") == 5
+
+    def test_negative_trip_count_rejected(self):
+        with pytest.raises(MachineError):
+            ConditionalRegisterFile(trip_count=-1)
+
+    def test_snapshot(self):
+        regs = ConditionalRegisterFile(trip_count=10)
+        regs.setup("a", 1)
+        regs.setup("b", 2)
+        assert regs.snapshot() == {"a": 1, "b": 2}

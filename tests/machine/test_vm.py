@@ -1,0 +1,147 @@
+"""Tests for the virtual machine: execution, invariants, traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codegen import (
+    ComputeInstr,
+    IndexExpr,
+    Loop,
+    LoopProgram,
+    Operand,
+    original_loop,
+    pipelined_loop,
+    unfolded_loop,
+)
+from repro.graph import DFG, OpKind
+from repro.machine import MachineError, default_initial, run_program
+from repro.retiming import minimize_cycle_period
+
+
+def _single_node_program(dest_index: IndexExpr, name="p") -> LoopProgram:
+    instr = ComputeInstr(
+        dest=Operand("A", dest_index), op=OpKind.ADD, imm=1, srcs=()
+    )
+    return LoopProgram(
+        name=name,
+        pre=(),
+        loop=Loop(IndexExpr.const(1), IndexExpr.trip(0), 1, (instr,)),
+        post=(),
+    )
+
+
+class TestExecution:
+    def test_simple_loop(self, fig4):
+        res = run_program(original_loop(fig4), 5)
+        assert set(res.arrays) == {"A", "B", "C"}
+        assert sorted(res.arrays["A"]) == [1, 2, 3, 4, 5]
+        assert res.executed == 15
+        assert res.disabled == 0
+
+    def test_values_follow_op_semantics(self, fig4):
+        res = run_program(original_loop(fig4), 2)
+        # A[1] = B[-2] * 3 with B[-2] an initial value.
+        b_init = default_initial("B", -2)
+        assert res.arrays["A"][1] == b_init * 3
+        assert res.arrays["B"][1] == res.arrays["A"][1] + 7
+        assert res.arrays["C"][1] == res.arrays["B"][1] * 2
+
+    def test_zero_trip_count(self, fig4):
+        res = run_program(original_loop(fig4), 0)
+        assert res.arrays == {}
+        assert res.executed == 0
+
+    def test_negative_trip_count_rejected(self, fig4):
+        with pytest.raises(MachineError):
+            run_program(original_loop(fig4), -1)
+
+    def test_source_nodes_stream(self):
+        g = DFG()
+        g.add_node("X", op=OpKind.SOURCE, imm=2)
+        res = run_program(original_loop(g), 3)
+        assert res.arrays["X"] == {1: 15, 2: 28, 3: 41}
+
+
+class TestInvariants:
+    def test_double_write_detected(self):
+        p = _single_node_program(IndexExpr.const(1))
+        with pytest.raises(MachineError, match="computed twice"):
+            run_program(p, 3)
+
+    def test_out_of_range_write_detected(self):
+        p = _single_node_program(IndexExpr.loop(5))
+        with pytest.raises(MachineError, match="outside"):
+            run_program(p, 3)
+
+    def test_min_n_enforced(self, fig2):
+        _, r = minimize_cycle_period(fig2)
+        p = pipelined_loop(fig2, r)
+        with pytest.raises(MachineError, match="minimum"):
+            run_program(p, 2)  # M_r = 3
+
+    def test_residue_contract_enforced(self, fig4):
+        p = unfolded_loop(fig4, 3, residue=1)
+        run_program(p, 7)  # 7 mod 3 == 1: fine
+        with pytest.raises(MachineError, match="residue"):
+            run_program(p, 9)
+
+
+class TestInitialValues:
+    def test_default_initial_deterministic(self):
+        assert default_initial("A", -3) == default_initial("A", -3)
+        assert default_initial("A", -3) != default_initial("B", -3)
+        assert default_initial("A", -3) != default_initial("A", -2)
+
+    def test_custom_initial(self, fig4):
+        res = run_program(original_loop(fig4), 1, initial=lambda a, i: 0)
+        assert res.arrays["A"][1] == 0  # B[-2] = 0, times 3
+
+    def test_initial_only_for_unwritten(self, fig4):
+        # B[i-3] for i=4 reads the *computed* B[1], not an initial value.
+        res = run_program(original_loop(fig4), 4)
+        assert res.arrays["A"][4] == res.arrays["B"][1] * 3
+
+
+class TestTrace:
+    def test_trace_records_order(self, fig4):
+        res = run_program(original_loop(fig4), 2, trace=True)
+        assert res.trace is not None
+        assert [(e.node, e.instance) for e in res.trace.events] == [
+            ("A", 1),
+            ("B", 1),
+            ("C", 1),
+            ("A", 2),
+            ("B", 2),
+            ("C", 2),
+        ]
+
+    def test_trace_regions(self, fig2):
+        _, r = minimize_cycle_period(fig2)
+        res = run_program(pipelined_loop(fig2, r), 6, trace=True)
+        regions = {e.region for e in res.trace.events}
+        assert regions == {"pre", "body", "post"}
+
+    def test_trace_instances_of(self, fig4):
+        res = run_program(original_loop(fig4), 3, trace=True)
+        assert res.trace.instances_of("B") == [1, 2, 3]
+
+    def test_producers_before_consumers(self, fig2):
+        """Every read instance was written earlier in the trace — the
+        execution-order substance of Theorems 4.1/4.2."""
+        _, r = minimize_cycle_period(fig2)
+        res = run_program(pipelined_loop(fig2, r), 8, trace=True)
+        order = res.trace.order_of()
+        # D[i] = A[i] * C[i] : check producer precedence for every instance.
+        for m in range(1, 9):
+            assert order[("A", m)] < order[("D", m)]
+            assert order[("C", m)] < order[("D", m)]
+
+    def test_register_capacity_threaded(self, fig2):
+        from repro.core import csr_pipelined_loop
+
+        _, r = minimize_cycle_period(fig2)
+        p = csr_pipelined_loop(fig2, r)
+        run_program(p, 5, register_capacity=4)  # exactly enough
+        with pytest.raises(MachineError, match="exhausted"):
+            run_program(p, 5, register_capacity=3)

@@ -1,0 +1,105 @@
+"""Tests for the difference-constraint solver."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.retiming import DifferenceConstraints
+
+
+class TestSolve:
+    def test_trivial_system(self):
+        s = DifferenceConstraints()
+        s.add_variable("x")
+        assert s.solve() == {"x": 0}
+
+    def test_simple_feasible(self):
+        s = DifferenceConstraints()
+        s.add("x", "y", 3)  # x - y <= 3
+        sol = s.solve()
+        assert sol is not None
+        assert sol["x"] - sol["y"] <= 3
+
+    def test_infeasible_cycle(self):
+        s = DifferenceConstraints()
+        s.add("x", "y", 1)
+        s.add("y", "x", -2)  # x - y <= 1 and y - x <= -2  =>  x - y >= 2
+        assert s.solve() is None
+        assert not s.is_feasible()
+
+    def test_equality_via_two_constraints(self):
+        s = DifferenceConstraints()
+        s.add("x", "y", 0)
+        s.add("y", "x", 0)
+        sol = s.solve()
+        assert sol["x"] == sol["y"]
+
+    def test_duplicate_pairs_tightened(self):
+        s = DifferenceConstraints()
+        s.add("x", "y", 5)
+        s.add("x", "y", 2)
+        s.add("x", "y", 9)
+        assert s.num_constraints == 1
+        assert list(s.constraints()) == [("x", "y", 2)]
+
+    def test_chain(self):
+        s = DifferenceConstraints()
+        s.add("b", "a", 1)
+        s.add("c", "b", 1)
+        s.add("a", "c", -2)  # a - c <= -2, forces exact spacing
+        sol = s.solve()
+        assert sol is not None
+        assert sol["b"] - sol["a"] <= 1
+        assert sol["c"] - sol["b"] <= 1
+        assert sol["a"] - sol["c"] <= -2
+
+    def test_check_validates_assignment(self):
+        s = DifferenceConstraints()
+        s.add("x", "y", 1)
+        assert s.check({"x": 0, "y": 0})
+        assert not s.check({"x": 5, "y": 0})
+
+    def test_variables_in_first_mention_order(self):
+        s = DifferenceConstraints()
+        s.add("q", "p", 1)
+        s.add_variable("z")
+        assert s.variables == ["q", "p", "z"]
+
+    def test_unconstrained_variables_get_zero(self):
+        s = DifferenceConstraints()
+        s.add_variable("lonely")
+        s.add("x", "y", -1)
+        sol = s.solve()
+        assert sol["lonely"] == 0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 5), st.integers(0, 5), st.integers(-4, 4)
+            ),
+            max_size=25,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_solutions_always_satisfy(self, triples):
+        s = DifferenceConstraints()
+        for a, b, c in triples:
+            s.add(f"v{a}", f"v{b}", c)
+        sol = s.solve()
+        if sol is not None:
+            assert s.check(sol)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 4), st.integers(0, 4), st.integers(0, 3)),
+            max_size=20,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_nonnegative_bounds_always_feasible(self, triples):
+        """With all c >= 0, the zero assignment satisfies everything."""
+        s = DifferenceConstraints()
+        for a, b, c in triples:
+            s.add(f"v{a}", f"v{b}", c)
+        assert s.is_feasible()

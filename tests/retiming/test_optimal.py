@@ -1,0 +1,121 @@
+"""Tests for optimal retiming (W/D binary search) and FEAS agreement."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graph import DFG, cycle_period, iteration_bound
+from repro.retiming import (
+    Retiming,
+    feas,
+    minimize_cycle_period,
+    minimum_cycle_period,
+    retime_for_period,
+)
+
+from ..conftest import dfgs, timed_dfgs
+
+
+class TestRetimeForPeriod:
+    def test_figure1_period_one(self, fig1):
+        r = retime_for_period(fig1, 1)
+        assert r is not None
+        assert cycle_period(r.apply()) <= 1
+        assert r.is_normalized
+
+    def test_figure2_period_one(self, fig2):
+        r = retime_for_period(fig2, 1)
+        assert r is not None
+        assert cycle_period(r.apply()) == 1
+
+    def test_infeasible_below_node_time(self, fig8):
+        assert retime_for_period(fig8, 9) is None  # node B takes 10
+
+    def test_infeasible_below_bound(self, fig4):
+        # Bound 2/3 per iteration but period must cover whole cycles: the
+        # 3-node cycle with 3 delays can reach period 1; period 0 never.
+        assert retime_for_period(fig4, 0) is None
+
+    def test_feasible_at_original_period(self, bench_graph):
+        r = retime_for_period(bench_graph, cycle_period(bench_graph))
+        assert r is not None
+
+    def test_result_is_legal_and_normalized(self, bench_graph):
+        r = retime_for_period(bench_graph, cycle_period(bench_graph))
+        assert r.is_legal()
+        assert r.is_normalized
+
+
+class TestMinimizeCyclePeriod:
+    def test_figure1(self, fig1):
+        c, r = minimize_cycle_period(fig1)
+        assert c == 1
+        assert cycle_period(r.apply()) == 1
+
+    def test_figure2_paper_retiming(self, fig2):
+        c, r = minimize_cycle_period(fig2)
+        assert c == 1
+        assert r.as_dict() == {"A": 3, "B": 2, "C": 2, "D": 1, "E": 0}
+
+    def test_figure8_non_unit(self, fig8):
+        c, _ = minimize_cycle_period(fig8)
+        # Bound 27/4 = 6.75, but the slowest node needs 10 time units.
+        assert c >= 10
+
+    def test_never_worse_than_original(self, bench_graph):
+        c, _ = minimize_cycle_period(bench_graph)
+        assert c <= cycle_period(bench_graph)
+
+    def test_never_below_iteration_bound(self, bench_graph):
+        c, _ = minimize_cycle_period(bench_graph)
+        assert c >= iteration_bound(bench_graph)
+
+    def test_minimum_cycle_period_shortcut(self, fig1):
+        assert minimum_cycle_period(fig1) == 1
+
+    @given(dfgs())
+    @settings(max_examples=60, deadline=None)
+    def test_optimal_is_feasible_and_tight(self, g):
+        c, r = minimize_cycle_period(g)
+        assert cycle_period(r.apply()) == c
+        # One less must be infeasible (c is the minimum).
+        if c > 1:
+            assert retime_for_period(g, c - 1) is None
+
+    @given(dfgs())
+    @settings(max_examples=60, deadline=None)
+    def test_optimal_at_least_ceil_bound(self, g):
+        c, _ = minimize_cycle_period(g)
+        bound = iteration_bound(g)
+        assert c >= math.ceil(bound)
+
+
+class TestFeasAgreement:
+    @given(dfgs(max_nodes=6))
+    @settings(max_examples=60, deadline=None)
+    def test_feas_agrees_with_wd_search(self, g):
+        """FEAS and the W/D reduction must agree on feasibility for every
+        candidate period from 1 to the original cycle period."""
+        for c in range(1, cycle_period(g) + 1):
+            via_wd = retime_for_period(g, c)
+            via_feas = feas(g, c)
+            assert (via_wd is None) == (via_feas is None), f"disagree at c={c}"
+            if via_feas is not None:
+                assert cycle_period(via_feas.apply()) <= c
+
+    def test_feas_on_benchmarks(self, bench_graph):
+        c, _ = minimize_cycle_period(bench_graph)
+        r = feas(bench_graph, c)
+        assert r is not None
+        assert cycle_period(r.apply()) <= c
+
+    def test_feas_infeasible(self, fig8):
+        assert feas(fig8, 9) is None
+
+    def test_feas_trivially_feasible(self, fig1):
+        r = feas(fig1, 2)
+        assert r is not None
+        assert cycle_period(r.apply()) <= 2

@@ -1,0 +1,34 @@
+"""Tests for rate-optimality analysis."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.retiming import rate_optimal_retiming
+
+
+class TestRateOptimal:
+    def test_figure1_rate_optimal(self, fig1):
+        res = rate_optimal_retiming(fig1)
+        assert res.period == 1
+        assert res.bound == 1
+        assert res.is_rate_optimal
+        assert res.required_unfolding == 1
+
+    def test_figure4_needs_unfolding(self, fig4):
+        res = rate_optimal_retiming(fig4)
+        assert res.bound == Fraction(2, 3)
+        assert not res.is_rate_optimal
+        assert res.required_unfolding == 3
+        assert res.period == 1  # best integral period
+
+    def test_figure8(self, fig8):
+        res = rate_optimal_retiming(fig8)
+        assert res.bound == Fraction(27, 4)
+        assert res.required_unfolding == 4
+        assert not res.is_rate_optimal
+
+    def test_benchmarks_have_witness(self, bench_graph):
+        res = rate_optimal_retiming(bench_graph)
+        assert res.retiming.is_legal()
+        assert res.period >= res.bound

@@ -1,0 +1,103 @@
+"""Tests for resource-constrained list scheduling."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import DFG, OpKind, cycle_period
+from repro.schedule import (
+    ResourceModel,
+    check_schedule,
+    critical_path_priorities,
+    is_legal_schedule,
+    list_schedule,
+)
+
+from ..conftest import dfgs, timed_dfgs
+
+
+class TestPriorities:
+    def test_chain_priorities(self):
+        g = DFG()
+        for n in "ABC":
+            g.add_node(n)
+        g.add_edge("A", "B", 0)
+        g.add_edge("B", "C", 0)
+        assert critical_path_priorities(g) == {"A": 3, "B": 2, "C": 1}
+
+    def test_delayed_edges_ignored(self, fig1):
+        # B -> A carries delays; both nodes are priority 1 + successor chain.
+        prios = critical_path_priorities(fig1)
+        assert prios == {"A": 2, "B": 1}
+
+
+class TestUnconstrained:
+    def test_matches_cycle_period(self, bench_graph):
+        sched = list_schedule(bench_graph)
+        assert sched.length == cycle_period(bench_graph)
+
+    @given(timed_dfgs())
+    @settings(max_examples=40, deadline=None)
+    def test_unconstrained_is_asap_length(self, g):
+        assert list_schedule(g).length == cycle_period(g)
+
+
+class TestConstrained:
+    @pytest.fixture
+    def wide_graph(self) -> DFG:
+        """Eight independent unit-time nodes."""
+        g = DFG("wide")
+        for i in range(8):
+            g.add_node(f"n{i}", op=OpKind.ADD)
+        return g
+
+    def test_serializes_on_one_unit(self, wide_graph):
+        sched = list_schedule(wide_graph, ResourceModel(units={"alu": 1}))
+        assert sched.length == 8
+
+    def test_two_units_halve(self, wide_graph):
+        sched = list_schedule(wide_graph, ResourceModel(units={"alu": 2}))
+        assert sched.length == 4
+
+    def test_mixed_kinds(self):
+        g = DFG()
+        for i in range(4):
+            g.add_node(f"m{i}", op=OpKind.MUL)
+        for i in range(4):
+            g.add_node(f"a{i}", op=OpKind.ADD)
+        sched = list_schedule(g, ResourceModel(units={"mul": 1, "alu": 4}))
+        assert sched.length == 4  # bound by the single multiplier
+
+    def test_schedule_is_legal(self, bench_graph):
+        model = ResourceModel(units={"alu": 2, "mul": 1})
+        sched = list_schedule(bench_graph, model)
+        check_schedule(sched, model)
+
+    def test_priority_prefers_critical_path(self):
+        """With one ALU, the chain head must be issued before the
+        independent low-priority node to reach the optimal length."""
+        g = DFG()
+        g.add_node("lone", op=OpKind.ADD)
+        for n in "ABC":
+            g.add_node(n, op=OpKind.ADD)
+        g.add_edge("A", "B", 0)
+        g.add_edge("B", "C", 0)
+        sched = list_schedule(g, ResourceModel(units={"alu": 1}))
+        assert sched.start["A"] == 0
+        assert sched.length == 4
+
+    @given(dfgs(max_nodes=7), st.integers(min_value=1, max_value=3))
+    @settings(max_examples=40, deadline=None)
+    def test_constrained_always_legal(self, g, units):
+        model = ResourceModel(units={"alu": units, "mul": units})
+        sched = list_schedule(g, model)
+        assert is_legal_schedule(sched, model)
+
+    @given(dfgs(max_nodes=7))
+    @settings(max_examples=40, deadline=None)
+    def test_more_units_never_slower(self, g):
+        s1 = list_schedule(g, ResourceModel(units={"alu": 1, "mul": 1}))
+        s2 = list_schedule(g, ResourceModel(units={"alu": 2, "mul": 2}))
+        assert s2.length <= s1.length

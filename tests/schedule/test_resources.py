@@ -1,0 +1,83 @@
+"""Tests for the functional-unit resource model and legality checking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import DFG, DFGError, OpKind
+from repro.schedule import (
+    UNLIMITED,
+    ResourceModel,
+    StaticSchedule,
+    check_schedule,
+    default_kind,
+    is_legal_schedule,
+)
+
+
+class TestResourceModel:
+    def test_default_kind_mapping(self):
+        g = DFG()
+        mul = g.add_node("M", op=OpKind.MUL)
+        mac = g.add_node("MC", op=OpKind.MAC)
+        add = g.add_node("A", op=OpKind.ADD)
+        src = g.add_node("S", op=OpKind.SOURCE)
+        assert default_kind(mul) == "mul"
+        assert default_kind(mac) == "mul"
+        assert default_kind(add) == "alu"
+        assert default_kind(src) == "alu"
+
+    def test_capacity(self):
+        m = ResourceModel(units={"alu": 2})
+        assert m.capacity("alu") == 2
+        assert m.capacity("mul") == UNLIMITED
+
+    def test_zero_units_rejected(self):
+        with pytest.raises(DFGError, match="unit"):
+            ResourceModel(units={"alu": 0})
+
+    def test_unconstrained(self):
+        assert ResourceModel.unconstrained().is_unconstrained()
+        assert not ResourceModel(units={"alu": 1}).is_unconstrained()
+
+    def test_usage(self, fig2):
+        m = ResourceModel()
+        usage = m.usage(fig2)
+        assert usage == {"alu": 3, "mul": 2}
+
+
+class TestLegality:
+    def test_precedence_violation_detected(self, fig2):
+        bad = StaticSchedule(graph=fig2, start={n: 0 for n in fig2.node_names()})
+        with pytest.raises(DFGError, match="precedence"):
+            check_schedule(bad)
+
+    def test_resource_violation_detected(self):
+        g = DFG()
+        g.add_node("A", op=OpKind.ADD)
+        g.add_node("B", op=OpKind.ADD)
+        sched = StaticSchedule(graph=g, start={"A": 0, "B": 0})
+        with pytest.raises(DFGError, match="resource violation"):
+            check_schedule(sched, ResourceModel(units={"alu": 1}))
+
+    def test_delayed_edges_unconstrained(self, fig1):
+        # A and B can share step 0: B -> A carries delays.
+        sched = StaticSchedule(graph=fig1, start={"A": 0, "B": 1})
+        check_schedule(sched)
+
+    def test_is_legal_boolean(self, fig2):
+        ok = StaticSchedule(
+            graph=fig2, start={"A": 0, "B": 1, "C": 1, "D": 2, "E": 3}
+        )
+        assert is_legal_schedule(ok)
+        bad = StaticSchedule(graph=fig2, start={n: 0 for n in fig2.node_names()})
+        assert not is_legal_schedule(bad)
+
+    def test_multi_cycle_occupancy_counted(self):
+        """A time-3 node occupies its unit for all three steps."""
+        g = DFG()
+        g.add_node("long", time=3, op=OpKind.ADD)
+        g.add_node("short", op=OpKind.ADD)
+        sched = StaticSchedule(graph=g, start={"long": 0, "short": 1})
+        with pytest.raises(DFGError, match="resource violation"):
+            check_schedule(sched, ResourceModel(units={"alu": 1}))

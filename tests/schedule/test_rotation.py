@@ -1,0 +1,74 @@
+"""Tests for rotation scheduling."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.graph import cycle_period
+from repro.schedule import ResourceModel, check_schedule, list_schedule, rotation_schedule
+
+from ..conftest import dfgs
+
+
+class TestRotation:
+    def test_never_worse_than_list_schedule(self, bench_graph):
+        model = ResourceModel(units={"alu": 2, "mul": 2})
+        res = rotation_schedule(bench_graph, model)
+        assert res.length <= res.initial_length
+
+    def test_result_schedule_is_legal(self, bench_graph):
+        model = ResourceModel(units={"alu": 2, "mul": 2})
+        res = rotation_schedule(bench_graph, model)
+        check_schedule(res.schedule, model)
+
+    def test_retiming_is_legal_and_normalized(self, bench_graph):
+        res = rotation_schedule(bench_graph)
+        assert res.retiming.is_legal()
+        assert res.retiming.is_normalized
+
+    def test_unconstrained_reaches_ls_optimum(self, fig2):
+        """On Figure 2's example, rotations reproduce the optimal period 1."""
+        from repro.retiming import minimum_cycle_period
+
+        res = rotation_schedule(fig2)
+        assert res.length == minimum_cycle_period(fig2)
+
+    def test_figure1(self, fig1):
+        res = rotation_schedule(fig1)
+        assert res.initial_length == 2
+        assert res.length == 1
+        assert res.rotations >= 1
+
+    def test_zero_rotations_when_already_optimal(self):
+        from repro.graph import DFG
+
+        g = DFG()
+        g.add_node("A")
+        g.add_edge("A", "A", 1)
+        res = rotation_schedule(g)
+        assert res.length == 1
+        assert res.rotations == 0
+
+    def test_max_rotations_respected(self, fig2):
+        res = rotation_schedule(fig2, max_rotations=0)
+        assert res.rotations == 0
+        assert res.length == cycle_period(fig2)
+
+    @given(dfgs(max_nodes=6))
+    @settings(max_examples=30, deadline=None)
+    def test_pipelines_at_least_to_ls_bound_unconstrained(self, g):
+        """Unconstrained rotation can only stop at or above the LS optimum,
+        and never above the original period."""
+        from repro.retiming import minimum_cycle_period
+
+        res = rotation_schedule(g)
+        assert minimum_cycle_period(g) <= res.length <= cycle_period(g)
+
+    @given(dfgs(max_nodes=6))
+    @settings(max_examples=30, deadline=None)
+    def test_constrained_schedule_legal(self, g):
+        model = ResourceModel(units={"alu": 1, "mul": 1})
+        res = rotation_schedule(g, model)
+        check_schedule(res.schedule, model)
+        # The schedule belongs to the retimed graph.
+        assert set(res.schedule.start) == set(g.node_names())

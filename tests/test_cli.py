@@ -1,0 +1,113 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "iir" in out and "figure8" in out
+
+    def test_info(self, capsys):
+        assert main(["info", "figure2"]) == 0
+        out = capsys.readouterr().out
+        assert "M_r / |N_r|   : 3 / 4" in out
+        assert "20 (pipelined) -> 13 (CSR)" in out
+
+    def test_csr_listing(self, capsys):
+        assert main(["csr", "figure2"]) == 0
+        out = capsys.readouterr().out
+        assert "setup p1 = 0 : -LC" in out
+        assert "for i = -2 to n do" in out
+
+    def test_csr_unfolded(self, capsys):
+        assert main(["csr", "figure4", "--unfold", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "by 3" in out
+
+    def test_run_verifies(self, capsys):
+        assert main(["run", "iir", "-n", "7"]) == 0
+        assert "equivalent to the original loop" in capsys.readouterr().out
+
+    def test_dot(self, capsys):
+        assert main(["dot", "figure1"]) == 0
+        assert capsys.readouterr().out.startswith('digraph "figure1"')
+
+    def test_json(self, capsys):
+        assert main(["json", "figure1"]) == 0
+        assert '"format": "repro-dfg-v1"' in capsys.readouterr().out
+
+    def test_parse_from_file(self, tmp_path, capsys):
+        src = tmp_path / "loop.txt"
+        src.write_text("A[i] = B[i-2] * 3\nB[i] = A[i] + 1\n")
+        assert main(["parse", str(src)]) == 0
+        assert "for i = 1 to n do" in capsys.readouterr().out
+
+    def test_parse_csr(self, tmp_path, capsys):
+        src = tmp_path / "loop.txt"
+        src.write_text("A[i] = B[i-2] * 3\nB[i] = A[i] + 1\n")
+        assert main(["parse", str(src), "--csr"]) == 0
+        assert "setup p1" in capsys.readouterr().out
+
+    def test_parse_json(self, tmp_path, capsys):
+        src = tmp_path / "loop.txt"
+        src.write_text("A[i] = A[i-1] + 1\n")
+        assert main(["parse", str(src), "--json"]) == 0
+        assert "repro-dfg-v1" in capsys.readouterr().out
+
+    def test_tables_subset(self, capsys):
+        assert main(["tables", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Table 3" not in out
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            main(["info", "nonexistent"])
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCompileCommand:
+    def test_compile_unconstrained(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["compile", "figure4", "--max-unfold", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "iteration period  : 2/3" in out
+        assert "setup p1" in out
+
+    def test_compile_with_machine(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["compile", "iir", "--alu", "2", "--mul", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "verified at n" in out
+
+    def test_compile_with_budget(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["compile", "figure2", "--budget", "14"]) == 0
+        out = capsys.readouterr().out
+        assert "code size         : 13" in out
+
+
+class TestCgenCommand:
+    def test_cgen_original(self, capsys):
+        assert main(["cgen", "figure4"]) == 0
+        out = capsys.readouterr().out
+        assert "#include <stdint.h>" in out
+        assert "for (int64_t i = 1; i <= n; i += 1)" in out
+
+    def test_cgen_csr(self, capsys):
+        assert main(["cgen", "figure2", "--csr"]) == 0
+        out = capsys.readouterr().out
+        assert "int64_t p1 = 0;" in out
+        assert "-(int64_t)n < p1 && p1 <= 0" in out

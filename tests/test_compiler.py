@@ -1,0 +1,82 @@
+"""Tests for the one-call compilation driver."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro.compiler import compile_loop
+from repro.core import assert_equivalent
+from repro.graph import DFGError, iteration_bound
+from repro.schedule import ResourceModel
+from repro.workloads import get_workload
+
+from .conftest import dfgs
+
+MACHINE = ResourceModel(units={"alu": 2, "mul": 1})
+
+
+class TestUnconstrained:
+    def test_reaches_rate_optimum_within_factors(self, fig4):
+        """Figure 4's bound is 2/3; factor 3 makes it reachable."""
+        res = compile_loop(fig4, max_unfold=3)
+        assert res.iteration_period == Fraction(2, 3)
+        assert res.factor == 3
+
+    def test_result_is_verified(self, fig2):
+        res = compile_loop(fig2)
+        assert_equivalent(fig2, res.program, 23)
+
+    def test_integral_bound_prefers_f1(self, fig1):
+        res = compile_loop(fig1)
+        assert res.factor == 1
+        assert res.iteration_period == 1
+
+    def test_never_below_bound(self, bench_graph):
+        res = compile_loop(bench_graph, max_unfold=3)
+        assert res.iteration_period >= iteration_bound(bench_graph)
+
+    def test_code_budget_respected(self, fig2):
+        res = compile_loop(fig2, code_budget=14)
+        assert res.code_size <= 14
+
+    def test_register_budget_respected(self, fig2):
+        res = compile_loop(fig2, max_registers=4)
+        assert res.registers <= 4
+
+    def test_impossible_budget_raises(self, fig2):
+        with pytest.raises(DFGError, match="no configuration"):
+            compile_loop(fig2, code_budget=3)
+
+    def test_bad_max_unfold(self, fig2):
+        with pytest.raises(DFGError, match="max_unfold"):
+            compile_loop(fig2, max_unfold=0)
+
+
+class TestResourceConstrained:
+    def test_benchmarks_compile_and_verify(self, bench_graph):
+        res = compile_loop(bench_graph, resources=MACHINE, max_unfold=2)
+        assert res.registers >= 1
+        assert res.iteration_period >= iteration_bound(bench_graph)
+
+    def test_unfolding_can_beat_f1_under_resources(self):
+        """Volterra's bound has denominator 2: with resources wide enough,
+        f=2 gives a better iteration period than f=1."""
+        g = get_workload("volterra")
+        wide = ResourceModel(units={"alu": 16, "mul": 16})
+        res = compile_loop(g, resources=wide, max_unfold=2)
+        assert res.factor == 2
+        assert res.iteration_period == iteration_bound(g)
+
+    def test_modulo_path_used(self, fig2):
+        res = compile_loop(fig2, resources=MACHINE)
+        # On 2 ALU + 1 MUL, figure-2's two multiplies force II >= 2.
+        assert res.period >= 2
+
+    @given(dfgs(max_nodes=5))
+    @settings(max_examples=20, deadline=None)
+    def test_random_graphs_compile(self, g):
+        res = compile_loop(g, resources=MACHINE, max_unfold=2, verify_n=5)
+        assert res.code_size == res.program.code_size

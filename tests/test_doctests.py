@@ -1,0 +1,22 @@
+"""Run the doctest examples embedded in module docstrings."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.graph.dfg
+import repro.schedule.resources
+
+MODULES = [
+    repro.graph.dfg,
+    repro.schedule.resources,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, f"{module.__name__}: {result.failed} doctest failures"
+    assert result.attempted > 0, f"{module.__name__} has no doctests to run"

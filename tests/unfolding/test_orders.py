@@ -1,0 +1,141 @@
+"""Tests for the retime-unfold / unfold-retime order pipelines."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import DFG, DFGError, cycle_period, iteration_bound
+from repro.retiming import minimize_cycle_period
+from repro.unfolding import (
+    min_delay_exceeding_time,
+    retime_unfold,
+    retime_unfold_for_period,
+    unfold,
+    unfold_retime,
+)
+
+from ..conftest import dfgs
+
+
+class TestMinDelayExceedingTime:
+    def test_single_node_exceeding(self):
+        g = DFG()
+        g.add_node("A", time=5)
+        g.add_edge("A", "A", 2)
+        wc = min_delay_exceeding_time(g, 4)
+        assert wc[("A", "A")] == 0  # the trivial walk already exceeds 4
+
+    def test_needs_cycle_to_exceed(self):
+        g = DFG()
+        g.add_node("A", time=2)
+        g.add_edge("A", "A", 3)
+        wc = min_delay_exceeding_time(g, 5)
+        # Walk A,A,A has T=6 > 5 with 2 cycle traversals: delay 6.
+        assert wc[("A", "A")] == 6
+
+    def test_chain(self, fig4):
+        wc = min_delay_exceeding_time(fig4, 2)
+        # A->B->C has T=3 > 2 with no delays.
+        assert wc[("A", "C")] == 0
+        # A->B with T=2 is not > 2; the cheapest longer walk loops around.
+        assert wc[("A", "B")] == 3
+
+    def test_unreachable_time_absent(self):
+        g = DFG()
+        g.add_node("A")
+        g.add_node("B")
+        g.add_edge("A", "B", 0)
+        wc = min_delay_exceeding_time(g, 10)
+        assert wc == {}  # no walk ever exceeds time 10 (acyclic, T<=2)
+
+
+class TestRetimeUnfoldForPeriod:
+    def test_f1_matches_ls_optimum(self, bench_graph):
+        """At f=1 the exact W_c method must agree with Leiserson-Saxe."""
+        c_opt, _ = minimize_cycle_period(bench_graph)
+        assert retime_unfold_for_period(bench_graph, 1, c_opt) is not None
+        if c_opt > 1:
+            assert retime_unfold_for_period(bench_graph, 1, c_opt - 1) is None
+
+    @given(dfgs(max_nodes=5, max_extra_edges=4))
+    @settings(max_examples=40, deadline=None)
+    def test_f1_agreement_random(self, g):
+        c_opt, _ = minimize_cycle_period(g)
+        assert retime_unfold_for_period(g, 1, c_opt) is not None
+        if c_opt > 1:
+            assert retime_unfold_for_period(g, 1, c_opt - 1) is None
+
+    def test_witness_achieves_period(self, fig8):
+        r = retime_unfold_for_period(fig8, 4, 27)
+        assert r is not None
+        assert cycle_period(unfold(r.apply(), 4)) <= 27
+
+    def test_infeasible_below_node_time(self, fig8):
+        assert retime_unfold_for_period(fig8, 4, 9) is None
+
+    def test_invalid_factor(self, fig4):
+        with pytest.raises(DFGError, match="factor"):
+            retime_unfold_for_period(fig4, 0, 3)
+
+
+class TestOrderPipelines:
+    def test_retime_unfold_figure4(self, fig4):
+        res = retime_unfold(fig4, 3)
+        assert res.period == 2  # rate-optimal: bound 2/3, f*B = 2
+        assert res.iteration_period == Fraction(2, 3)
+        assert res.order == "retime-unfold"
+
+    def test_unfold_retime_figure4(self, fig4):
+        res = unfold_retime(fig4, 3)
+        assert res.period == 2
+        assert res.iteration_period == Fraction(2, 3)
+
+    def test_explicit_period(self, fig4):
+        res = retime_unfold(fig4, 3, period=3)
+        assert res.period <= 3
+
+    def test_unreachable_period_raises(self, fig4):
+        with pytest.raises(DFGError, match="cannot reach"):
+            retime_unfold(fig4, 3, period=1)
+        with pytest.raises(DFGError, match="cannot reach"):
+            unfold_retime(fig4, 3, period=1)
+
+    def test_result_graphs_have_f_copies(self, fig4):
+        res = retime_unfold(fig4, 3)
+        assert res.graph.num_nodes == 9
+
+    @given(dfgs(max_nodes=5, max_extra_edges=4), st.integers(min_value=1, max_value=3))
+    @settings(max_examples=30, deadline=None)
+    def test_chao_sha_equivalence(self, g, f):
+        """Both orders achieve the same minimum unfolded cycle period
+        (Chao & Sha 1995) — here both optimizers are exact, so equality is
+        testable directly."""
+        ru = retime_unfold(g, f)
+        ur = unfold_retime(g, f)
+        assert ru.period == ur.period
+
+    @given(dfgs(max_nodes=5, max_extra_edges=4), st.integers(min_value=1, max_value=3))
+    @settings(max_examples=30, deadline=None)
+    def test_period_at_least_scaled_bound(self, g, f):
+        import math
+
+        ru = retime_unfold(g, f)
+        assert ru.period >= math.ceil(f * iteration_bound(g))
+
+    def test_benchmark_orders_agree(self, bench_graph):
+        for f in (2, 3):
+            ru = retime_unfold(bench_graph, f)
+            ur = unfold_retime(bench_graph, f)
+            assert ru.period == ur.period, f"f={f}"
+
+    def test_retiming_is_over_original_nodes(self, fig4):
+        res = retime_unfold(fig4, 3)
+        assert set(res.retiming.as_dict()) == {"A", "B", "C"}
+
+    def test_unfold_retime_retiming_is_over_copies(self, fig4):
+        res = unfold_retime(fig4, 3)
+        assert len(res.retiming.as_dict()) == 9

@@ -1,0 +1,111 @@
+"""Tests for the extra (beyond-paper) workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import assert_equivalent, csr_pipelined_loop
+from repro.graph import DFGError, cycle_period, iteration_bound, validate
+from repro.retiming import minimize_cycle_period
+from repro.workloads import biquad_cascade, fir_filter, get_workload
+
+
+class TestFir:
+    def test_acyclic(self):
+        g = fir_filter(5)
+        assert iteration_bound(g) == 0
+
+    def test_node_count(self):
+        for taps in (2, 4, 8):
+            # source + taps multipliers + taps accumulators
+            assert fir_filter(taps).num_nodes == 2 * taps + 1
+
+    def test_fully_pipelineable(self):
+        """No recurrence: retiming reaches period 1 (unit-time nodes)."""
+        g = fir_filter(6)
+        c, r = minimize_cycle_period(g)
+        assert c == 1
+        assert r.max_value == cycle_period(g) - 1
+
+    def test_csr_on_acyclic(self):
+        g = fir_filter(4)
+        _, r = minimize_cycle_period(g)
+        p = csr_pipelined_loop(g, r)
+        for n in (0, 1, 3, 20):
+            assert_equivalent(g, p, n)
+
+    def test_minimum_taps(self):
+        with pytest.raises(DFGError):
+            fir_filter(1)
+
+    def test_registered(self):
+        assert get_workload("fir").name == "fir5"
+
+
+class TestBiquadCascade:
+    @pytest.mark.parametrize("k", [1, 2, 3, 5])
+    def test_size_scales(self, k):
+        assert biquad_cascade(k).num_nodes == 8 * k
+
+    def test_bound_independent_of_length(self):
+        """The recurrence lives inside each section; cascading through a
+        delay does not tighten the bound."""
+        assert iteration_bound(biquad_cascade(1)) == iteration_bound(
+            biquad_cascade(4)
+        )
+
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_valid_and_verifiable(self, k):
+        g = biquad_cascade(k)
+        validate(g)
+        _, r = minimize_cycle_period(g)
+        assert_equivalent(g, csr_pipelined_loop(g, r), 8)
+
+    def test_retiming_depth_grows_with_length(self):
+        _, r1 = minimize_cycle_period(biquad_cascade(1))
+        _, r6 = minimize_cycle_period(biquad_cascade(6))
+        assert r6.max_value >= r1.max_value
+
+    def test_rejects_zero_sections(self):
+        with pytest.raises(DFGError):
+            biquad_cascade(0)
+
+    def test_registered_variants(self):
+        assert get_workload("biquad2").num_nodes == 16
+        assert get_workload("biquad4").num_nodes == 32
+
+
+class TestLms:
+    def test_node_count(self):
+        from repro.workloads.extra import lms_filter
+
+        for taps in (1, 3, 5):
+            assert lms_filter(taps).num_nodes == 3 * taps + 3
+
+    def test_bound_grows_with_taps(self):
+        from fractions import Fraction
+
+        from repro.workloads.extra import lms_filter
+
+        assert iteration_bound(lms_filter(2)) == Fraction(5, 2)
+        assert iteration_bound(lms_filter(4)) == Fraction(7, 2)
+
+    def test_error_node_on_critical_cycle(self):
+        from repro.graph import critical_cycle
+        from repro.workloads.extra import lms_filter
+
+        g = lms_filter(4)
+        assert "E" in critical_cycle(g)
+
+    def test_verifiable(self):
+        from repro.workloads.extra import lms_filter
+
+        g = lms_filter(3)
+        _, r = minimize_cycle_period(g)
+        assert_equivalent(g, csr_pipelined_loop(g, r), 10)
+
+    def test_rejects_zero_taps(self):
+        from repro.workloads.extra import lms_filter
+
+        with pytest.raises(DFGError):
+            lms_filter(0)

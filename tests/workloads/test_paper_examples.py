@@ -1,0 +1,92 @@
+"""Tests asserting every number the paper states about its running examples."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.graph import cycle_period, iteration_bound
+from repro.retiming import Retiming, minimize_cycle_period
+from repro.workloads import figure1, figure2_example, figure4_loop, figure8
+
+
+class TestFigure1:
+    def test_shape(self):
+        g = figure1()
+        assert g.num_nodes == 2
+        delays = {(e.src, e.dst): e.delay for e in g.edges()}
+        assert delays == {("A", "B"): 0, ("B", "A"): 2}
+
+    def test_paper_retiming(self):
+        """r(A)=1, r(B)=0 yields one delay on each edge (Figure 1(b))."""
+        g = figure1()
+        r = Retiming(g, {"A": 1, "B": 0})
+        retimed = r.apply()
+        assert all(e.delay == 1 for e in retimed.edges())
+
+    def test_period_halves(self):
+        """'The schedule length of the new loop body is then reduced from
+        two control steps to one control step.'"""
+        g = figure1()
+        assert cycle_period(g) == 2
+        c, _ = minimize_cycle_period(g)
+        assert c == 1
+
+
+class TestFigure2:
+    def test_paper_retiming_found(self):
+        _, r = minimize_cycle_period(figure2_example())
+        assert r.as_dict() == {"A": 3, "B": 2, "C": 2, "D": 1, "E": 0}
+
+    def test_four_distinct_values(self):
+        """'Since there are four different retiming values, we need to use
+        four conditional registers.'"""
+        _, r = minimize_cycle_period(figure2_example())
+        assert r.registers_needed() == 4
+
+    def test_loop_runs_n_plus_3_times(self):
+        """'The loop will now be executed for n - 3 + 3 + 3 = n + 3 times.'"""
+        from repro.core import csr_pipelined_loop
+
+        g = figure2_example()
+        _, r = minimize_cycle_period(g)
+        p = csr_pipelined_loop(g, r)
+        n = 20
+        assert p.loop.trip_count(n) == n + 3
+
+
+class TestFigure4:
+    def test_shape(self):
+        g = figure4_loop()
+        assert g.num_nodes == 3
+        delays = {(e.src, e.dst): e.delay for e in g.edges()}
+        assert delays == {("B", "A"): 3, ("A", "B"): 0, ("B", "C"): 0}
+
+    def test_bound(self):
+        assert iteration_bound(figure4_loop()) == Fraction(2, 3)
+
+    def test_section_3_4_retiming_corrected(self):
+        """Section 3.4's Figure 6(a) shows B executing one iteration ahead.
+        The figure's literal 'r(B) = 1' is illegal under the paper's own
+        delay formula (A->B with d = 0 would go negative); the legal
+        retiming producing that pipeline shifts A along with B."""
+        g = figure4_loop()
+        assert not Retiming(g, {"B": 1}).is_legal()
+        r = Retiming(g, {"A": 1, "B": 1})
+        assert r.is_legal()
+        assert cycle_period(r.apply()) == 2
+
+
+class TestFigure8:
+    def test_non_unit_times(self):
+        g = figure8()
+        times = sorted(v.time for v in g.nodes())
+        assert times == [2, 3, 5, 7, 10]
+        assert any(v.time > 1 for v in g.nodes())
+
+    def test_bound_denominator_four(self):
+        assert iteration_bound(figure8()) == Fraction(27, 4)
+
+    def test_retiming_alone_cannot_be_rate_optimal(self):
+        g = figure8()
+        c, _ = minimize_cycle_period(g)
+        assert c > iteration_bound(g)

@@ -1,0 +1,46 @@
+"""Workload snapshot regression tests.
+
+Every experimental number in EXPERIMENTS.md is a function of the exact
+benchmark topologies.  These tests pin each workload builder to a frozen
+JSON snapshot under ``tests/data/``, so an accidental edit to a filter
+graph fails here with a precise diff instead of silently shifting table
+cells.
+
+To intentionally update a workload: re-run
+``python -c "..."`` from the snapshot generator in the repo history (or
+simply rewrite the one file with ``repro.graph.serialize.to_json``), and
+update EXPERIMENTS.md in the same change.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.graph.serialize import from_json, to_json
+from repro.workloads import WORKLOADS
+
+DATA = Path(__file__).parent.parent / "data"
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_workload_matches_snapshot(name):
+    snapshot = from_json((DATA / f"{name}.json").read_text())
+    built = WORKLOADS[name]()
+    assert built == snapshot, (
+        f"workload {name!r} diverges from its frozen snapshot; if the "
+        f"change is intentional, regenerate tests/data/{name}.json and "
+        f"re-derive EXPERIMENTS.md"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_snapshot_roundtrips(name):
+    text = (DATA / f"{name}.json").read_text()
+    assert to_json(from_json(text)) + "\n" == text
+
+
+def test_every_workload_has_a_snapshot():
+    names = {p.stem for p in DATA.glob("*.json")}
+    assert names == set(WORKLOADS)
