@@ -1,0 +1,47 @@
+"""Experiment E5 — the engine itself: cache hit path vs. recompute.
+
+Times one representative job (lattice retime-unfold CSR, the heaviest
+Table-4 cell) cold (straight ``execute_job``) and warm (served from the
+content-addressed cache), and runs a small differential sweep through the
+engine to keep the randomized harness honest inside the benchmark suite.
+"""
+
+from __future__ import annotations
+
+from repro.runner import (
+    ExperimentEngine,
+    Job,
+    ResultCache,
+    differential_sweep,
+    execute_job,
+)
+
+JOB = Job(transform="csr-retime-unfold", workload="lattice", factor=3, trip_count=101)
+
+
+def test_cold_job_benchmark(benchmark):
+    """Baseline: one uncached job execution (transform + VM + verify)."""
+    payload = benchmark(execute_job, JOB.to_params())
+    assert payload["ok"] and payload["equivalent"]
+
+
+def test_cache_hit_benchmark(benchmark, tmp_path):
+    """The hot path every re-run takes: content hash + one disk read."""
+    engine = ExperimentEngine(jobs=1, cache=ResultCache(tmp_path))
+    engine.run_jobs([JOB])  # prime
+
+    def warm():
+        return engine.run_jobs([JOB])[0]
+
+    result = benchmark(warm)
+    assert result.cached and result.ok
+
+
+def test_sweep_report(capsys, engine):
+    """A small randomized differential sweep through the shared engine."""
+    report = differential_sweep(num_graphs=10, engine=engine, factors=(2, 3))
+    with capsys.disabled():
+        print("\n=== Differential sweep (10 graphs) ===")
+        print(report.summary())
+    assert report.ok
+    assert report.inequality_checks >= 20

@@ -19,9 +19,9 @@ from repro.retiming import minimize_cycle_period
 from repro.workloads import BENCHMARKS, get_workload
 
 
-def test_table1_report(capsys):
+def test_table1_report(capsys, engine):
     """Print the full paper-vs-measured Table 1 and check its shape."""
-    rows = table1_rows()
+    rows = table1_rows(engine=engine)
     with capsys.disabled():
         print("\n=== Table 1: code size after retiming and registers needed ===")
         print(format_table1(rows))

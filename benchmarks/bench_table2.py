@@ -31,8 +31,8 @@ def test_table2_other_factors(f):
         assert row.csr < row.expanded
 
 
-def test_table2_report(capsys):
-    rows = table2_rows(f=FACTOR, n=TRIP_COUNT)
+def test_table2_report(capsys, engine):
+    rows = table2_rows(f=FACTOR, n=TRIP_COUNT, engine=engine)
     with capsys.disabled():
         print("\n=== Table 2: retiming + unfolding (f=3, LC=101) ===")
         print(format_table2(rows))

@@ -22,8 +22,8 @@ from repro.workloads import get_workload
 FACTORS = (2, 3, 4)
 
 
-def test_table3_report(capsys):
-    cols = table3_comparison(FACTORS)
+def test_table3_report(capsys, engine):
+    cols = table3_comparison(FACTORS, engine=engine)
     with capsys.disabled():
         print("\n=== Table 3: order comparison on the Figure-8 DFG ===")
         print(format_order_comparison(cols, PAPER_TABLE3))

@@ -22,8 +22,8 @@ FACTORS = (2, 3, 4)
 ITERATION_PERIOD = 8
 
 
-def test_table4_report(capsys):
-    cols = table4_comparison(FACTORS, ITERATION_PERIOD)
+def test_table4_report(capsys, engine):
+    cols = table4_comparison(FACTORS, ITERATION_PERIOD, engine=engine)
     with capsys.disabled():
         print("\n=== Table 4: 4-stage lattice at iteration period 8 ===")
         print(format_order_comparison(cols, PAPER_TABLE4))

@@ -33,6 +33,7 @@ Subpackages
 ``repro.core``       the CSR framework, size models, trade-off explorer
 ``repro.workloads``  the paper's benchmarks and worked examples
 ``repro.analysis``   drivers regenerating the paper's tables
+``repro.runner``     parallel cached experiment engine + differential sweeps
 """
 
 from .graph import (
@@ -79,6 +80,7 @@ from .core import (
 )
 from .compiler import CompilationResult, compile_loop
 from .frontend import ParseError, parse_loop
+from .runner import ExperimentEngine, Job, ResultCache, differential_sweep
 from .workloads import benchmark_graphs, get_workload
 
 __version__ = "1.0.0"
@@ -127,6 +129,10 @@ __all__ = [
     "compile_loop",
     "ParseError",
     "parse_loop",
+    "ExperimentEngine",
+    "Job",
+    "ResultCache",
+    "differential_sweep",
     "benchmark_graphs",
     "get_workload",
     "__version__",

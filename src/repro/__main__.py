@@ -10,6 +10,8 @@ Examples::
     python -m repro parse my_loop.txt --csr      # front-end to CSR listing
     python -m repro dot elliptic > elliptic.dot  # Graphviz export
     python -m repro tables 1 2                   # regenerate paper tables
+    python -m repro tables --jobs 4 --stats      # parallel cached tables
+    python -m repro sweep --graphs 200 --jobs 0  # differential test sweep
 """
 
 from __future__ import annotations
@@ -17,7 +19,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .analysis.__main__ import main as tables_main
+from .analysis.__main__ import add_engine_arguments, engine_from_args, print_tables
 from .codegen import emit_c, format_program, original_loop
 from .core import (
     assert_equivalent,
@@ -144,7 +146,31 @@ def _cmd_json(args) -> int:
 
 
 def _cmd_tables(args) -> int:
-    return tables_main(args.tables)
+    engine = engine_from_args(args)
+    print_tables(set(args.tables) or {"1", "2", "3", "4"}, engine)
+    if args.stats:
+        print("=== Engine stats ===")
+        print(engine.stats_summary())
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    """Randomized differential sweep through the experiment engine."""
+    from .runner.difftest import differential_sweep
+
+    engine = engine_from_args(args)
+    report = differential_sweep(
+        num_graphs=args.graphs,
+        seed=args.seed,
+        factors=tuple(args.factors),
+        max_nodes=args.max_nodes,
+        engine=engine,
+    )
+    print(report.summary())
+    if args.stats:
+        print("=== Engine stats ===")
+        print(engine.stats_summary())
+    return 0 if report.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -202,7 +228,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("tables", help="regenerate the paper's tables")
     p.add_argument("tables", nargs="*", choices=["1", "2", "3", "4"], metavar="N")
+    add_engine_arguments(p)
     p.set_defaults(fn=_cmd_tables)
+
+    p = sub.add_parser(
+        "sweep", help="randomized differential-testing sweep (all orders)"
+    )
+    p.add_argument("--graphs", type=int, default=200, help="random DFG count")
+    p.add_argument("--seed", type=int, default=0, help="first graph seed")
+    p.add_argument(
+        "--factors", type=int, nargs="+", default=[2, 3], metavar="F",
+        help="unfolding factors to sweep",
+    )
+    p.add_argument("--max-nodes", type=int, default=6, help="max nodes per graph")
+    add_engine_arguments(p)
+    p.set_defaults(fn=_cmd_sweep)
 
     return parser
 

@@ -6,12 +6,21 @@ validated against generated programs) and pairs them with the paper's
 published numbers, so the benchmark harness and EXPERIMENTS.md print both
 side by side.  The benchmark files under ``benchmarks/`` are thin wrappers
 around these drivers.
+
+Every driver accepts an optional
+:class:`~repro.runner.engine.ExperimentEngine`: with one, each row is a
+content-addressed unit of work — cached on disk and fanned across the
+engine's process pool — and the measured numbers are reconstructed from
+the JSON payload.  The payload functions (``_table1_payload`` etc.) are
+the single source of truth for both paths, so engine-driven tables are
+byte-identical to direct ones.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
+from typing import TYPE_CHECKING
 
 from ..core.codesize import (
     size_csr_pipelined,
@@ -24,11 +33,15 @@ from ..core.codesize import (
 from ..core.predicated import PER_COPY, PER_ITERATION
 from ..graph.dfg import DFG
 from ..graph.iteration_bound import iteration_bound
+from ..graph.serialize import from_json, to_json
 from ..retiming.function import Retiming
 from ..retiming.optimal import minimize_cycle_period
 from ..unfolding.orders import retime_unfold, unfold_retime
 from ..workloads.registry import BENCHMARKS, PAPER_LABELS, get_workload
 from .tables import format_table
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner uses core)
+    from ..runner.engine import ExperimentEngine
 
 __all__ = [
     "Table1Row",
@@ -111,29 +124,57 @@ class Table1Row:
         return 100.0 * (self.retimed - self.csr) / self.retimed
 
 
-def table1_rows() -> list[Table1Row]:
-    """Optimal retiming + CSR statistics for the six benchmarks."""
+def _table1_payload(params: dict) -> dict:
+    """Measured Table-1 quantities for one serialized graph (engine worker)."""
     from ..graph.period import cycle_period
 
-    rows = []
-    for name in BENCHMARKS:
-        g = get_workload(name)
-        before = cycle_period(g)
-        after, r = minimize_cycle_period(g)
-        rows.append(
-            Table1Row(
-                name=name,
-                label=PAPER_LABELS[name],
-                original=size_original(g),
-                retimed=size_pipelined(g, r),
-                csr=size_csr_pipelined(g, r),
-                registers=r.registers_needed(),
-                period_before=before,
-                period_after=after,
-                retiming=r,
-            )
+    g = from_json(params["graph"])
+    before = cycle_period(g)
+    after, r = minimize_cycle_period(g)
+    return {
+        "original": size_original(g),
+        "retimed": size_pipelined(g, r),
+        "csr": size_csr_pipelined(g, r),
+        "registers": r.registers_needed(),
+        "period_before": before,
+        "period_after": after,
+        "retiming": r.as_dict(),
+    }
+
+
+def _table1_row(name: str, g: DFG, payload: dict) -> Table1Row:
+    return Table1Row(
+        name=name,
+        label=PAPER_LABELS[name],
+        original=payload["original"],
+        retimed=payload["retimed"],
+        csr=payload["csr"],
+        registers=payload["registers"],
+        period_before=payload["period_before"],
+        period_after=payload["period_after"],
+        retiming=Retiming(g, {k: int(v) for k, v in payload["retiming"].items()}),
+    )
+
+
+def table1_rows(engine: "ExperimentEngine | None" = None) -> list[Table1Row]:
+    """Optimal retiming + CSR statistics for the six benchmarks.
+
+    With an engine, each benchmark row is one cached, pool-dispatched unit
+    of work; without one the rows are computed inline.  Both paths share
+    :func:`_table1_payload`, so the results are identical.
+    """
+    graphs = {name: get_workload(name) for name in BENCHMARKS}
+    params = [{"graph": to_json(graphs[name], indent=None)} for name in BENCHMARKS]
+    if engine is not None:
+        payloads = engine.map_cached(
+            "table1-row", _table1_payload, params, [f"table1:{n}" for n in BENCHMARKS]
         )
-    return rows
+    else:
+        payloads = [_table1_payload(p) for p in params]
+    return [
+        _table1_row(name, graphs[name], payload)
+        for name, payload in zip(BENCHMARKS, payloads)
+    ]
 
 
 def format_table1(rows: list[Table1Row] | None = None) -> str:
@@ -195,26 +236,47 @@ class Table2Row:
         return 100.0 * (self.expanded - self.csr) / self.expanded
 
 
-def table2_rows(f: int = 3, n: int = 101) -> list[Table2Row]:
+def _table2_payload(params: dict) -> dict:
+    """Measured Table-2 quantities for one serialized graph (engine worker)."""
+    g = from_json(params["graph"])
+    f = params["factor"]
+    n = params["trip_count"]
+    _, r = minimize_cycle_period(g)
+    remainder = n % f
+    return {
+        "expanded": size_retime_unfold(g, r, f, remainder),
+        "csr": size_csr_retime_unfold(g, r, f, mode=PER_COPY),
+        "registers": r.registers_needed(),
+    }
+
+
+def table2_rows(
+    f: int = 3, n: int = 101, engine: "ExperimentEngine | None" = None
+) -> list[Table2Row]:
     """Unfold each benchmark's Table-1 retiming by ``f`` (the paper reuses
     the same retiming — its register column is identical across tables)."""
-    rows = []
-    for name in BENCHMARKS:
-        g = get_workload(name)
-        _, r = minimize_cycle_period(g)
-        remainder = n % f
-        rows.append(
-            Table2Row(
-                name=name,
-                label=PAPER_LABELS[name],
-                factor=f,
-                trip_count=n,
-                expanded=size_retime_unfold(g, r, f, remainder),
-                csr=size_csr_retime_unfold(g, r, f, mode=PER_COPY),
-                registers=r.registers_needed(),
-            )
+    params = [
+        {"graph": to_json(get_workload(name), indent=None), "factor": f, "trip_count": n}
+        for name in BENCHMARKS
+    ]
+    if engine is not None:
+        payloads = engine.map_cached(
+            "table2-row", _table2_payload, params, [f"table2:{b}" for b in BENCHMARKS]
         )
-    return rows
+    else:
+        payloads = [_table2_payload(p) for p in params]
+    return [
+        Table2Row(
+            name=name,
+            label=PAPER_LABELS[name],
+            factor=f,
+            trip_count=n,
+            expanded=payload["expanded"],
+            csr=payload["csr"],
+            registers=payload["registers"],
+        )
+        for name, payload in zip(BENCHMARKS, payloads)
+    ]
 
 
 def format_table2(rows: list[Table2Row] | None = None) -> str:
@@ -279,9 +341,14 @@ class OrderComparison:
     m_retime_unfold: int
 
 
-def _compare_orders(g: DFG, f: int, period: int | None, csr_mode: str) -> OrderComparison:
+def _orders_payload(params: dict) -> dict:
+    """Measured order-comparison column for one factor (engine worker)."""
     from ..core.partial import minimize_registers_for_unfold
 
+    g = from_json(params["graph"])
+    f = params["factor"]
+    period = params["period"]
+    csr_mode = params["csr_mode"]
     ur = unfold_retime(g, f, period=period)
     ru = retime_unfold(g, f, period=period if period is not None else ur.period)
     r = ru.retiming
@@ -290,38 +357,83 @@ def _compare_orders(g: DFG, f: int, period: int | None, csr_mode: str) -> OrderC
         better = minimize_registers_for_unfold(g, f, ru.period)
         if better is not None and better.registers_needed() <= r.registers_needed():
             r = better
+    bound = iteration_bound(g)
+    return {
+        "period": ru.period,
+        "iteration_period": [ru.iteration_period.numerator, ru.iteration_period.denominator],
+        "bound": [bound.numerator, bound.denominator],
+        "unfold_retime_size": size_unfold_retime(g, ur.retiming, f),
+        "retime_unfold_size": size_retime_unfold(g, r, f),
+        "csr_size": size_csr_retime_unfold(g, r, f, mode=csr_mode),
+        "registers": r.registers_needed(),
+        "m_unfold_retime": ur.retiming.max_value,
+        "m_retime_unfold": r.max_value,
+    }
+
+
+def _comparison_from_payload(f: int, csr_mode: str, payload: dict) -> OrderComparison:
     return OrderComparison(
         factor=f,
-        period=ru.period,
-        iteration_period=ru.iteration_period,
-        bound=iteration_bound(g),
-        unfold_retime_size=size_unfold_retime(g, ur.retiming, f),
-        retime_unfold_size=size_retime_unfold(g, r, f),
-        csr_size=size_csr_retime_unfold(g, r, f, mode=csr_mode),
-        registers=r.registers_needed(),
+        period=payload["period"],
+        iteration_period=Fraction(*payload["iteration_period"]),
+        bound=Fraction(*payload["bound"]),
+        unfold_retime_size=payload["unfold_retime_size"],
+        retime_unfold_size=payload["retime_unfold_size"],
+        csr_size=payload["csr_size"],
+        registers=payload["registers"],
         csr_mode=csr_mode,
-        m_unfold_retime=ur.retiming.max_value,
-        m_retime_unfold=r.max_value,
+        m_unfold_retime=payload["m_unfold_retime"],
+        m_retime_unfold=payload["m_retime_unfold"],
     )
 
 
-def table3_comparison(factors: tuple[int, ...] = (2, 3, 4)) -> list[OrderComparison]:
+def _compare_orders(
+    g: DFG,
+    factors: tuple[int, ...],
+    periods: list[int | None],
+    csr_mode: str,
+    engine: "ExperimentEngine | None",
+) -> list[OrderComparison]:
+    graph_json = to_json(g, indent=None)
+    params = [
+        {"graph": graph_json, "factor": f, "period": p, "csr_mode": csr_mode}
+        for f, p in zip(factors, periods)
+    ]
+    if engine is not None:
+        payloads = engine.map_cached(
+            "order-comparison",
+            _orders_payload,
+            params,
+            [f"orders:{g.name}:f={f}" for f in factors],
+        )
+    else:
+        payloads = [_orders_payload(p) for p in params]
+    return [
+        _comparison_from_payload(f, csr_mode, payload)
+        for f, payload in zip(factors, payloads)
+    ]
+
+
+def table3_comparison(
+    factors: tuple[int, ...] = (2, 3, 4), engine: "ExperimentEngine | None" = None
+) -> list[OrderComparison]:
     """Order comparison on the Figure-8 DFG at the *optimal* period per
     factor (both orders achieve the same optimum — Chao & Sha)."""
     g = get_workload("figure8")
-    return [_compare_orders(g, f, period=None, csr_mode=PER_ITERATION) for f in factors]
+    return _compare_orders(g, factors, [None] * len(factors), PER_ITERATION, engine)
 
 
 def table4_comparison(
-    factors: tuple[int, ...] = (2, 3, 4), iteration_period: int = 8
+    factors: tuple[int, ...] = (2, 3, 4),
+    iteration_period: int = 8,
+    engine: "ExperimentEngine | None" = None,
 ) -> list[OrderComparison]:
     """Order comparison on the 4-stage lattice at a fixed iteration period
     (the paper fixes cycle period 8 per original iteration)."""
     g = get_workload("lattice")
-    return [
-        _compare_orders(g, f, period=iteration_period * f, csr_mode=PER_COPY)
-        for f in factors
-    ]
+    return _compare_orders(
+        g, factors, [iteration_period * f for f in factors], PER_COPY, engine
+    )
 
 
 def format_order_comparison(

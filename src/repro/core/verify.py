@@ -16,6 +16,7 @@ from typing import Callable
 from ..graph.dfg import DFG, DFGError
 from ..codegen.ir import LoopProgram
 from ..codegen.original import original_loop
+from ..machine.registers import MachineError
 from ..machine.vm import VMResult, default_initial, run_program
 
 __all__ = ["EquivalenceError", "assert_equivalent", "equivalent", "reference_result"]
@@ -78,9 +79,17 @@ def equivalent(
     n: int,
     initial: Callable[[str, int], int] = default_initial,
 ) -> bool:
-    """Boolean form of :func:`assert_equivalent`."""
+    """Boolean form of :func:`assert_equivalent`.
+
+    Only *semantic* divergence counts as "not equivalent": a differing
+    array state (:class:`EquivalenceError`) or a VM-enforced invariant
+    violation / trip-count precondition (:class:`MachineError`).  Any
+    other :class:`DFGError` — a malformed graph, an illegal retiming, a
+    codegen failure — propagates, so structural bugs are never silently
+    reported as mere non-equivalence.
+    """
     try:
         assert_equivalent(g, program, n, initial=initial)
-    except DFGError:
+    except (EquivalenceError, MachineError):
         return False
     return True

@@ -1,0 +1,54 @@
+"""Parallel cached experiment engine.
+
+The sweep infrastructure behind the paper tables, the benchmark harness
+and the randomized differential tests: a job matrix
+(workload x transformation x unfolding factor x trip count) fanned across
+a process pool, backed by a content-addressed on-disk result cache keyed
+on the serialized DFG, the transformation parameters and a digest of the
+library sources — so re-runs are incremental and a cache hit always means
+"same code, same input".
+
+See ``docs/RUNNER.md`` for the cache-key scheme and invalidation rules.
+"""
+
+from .cache import (
+    CACHE_SCHEMA,
+    CacheStats,
+    NullCache,
+    ResultCache,
+    cache_key,
+    code_version,
+    default_cache_dir,
+)
+from .difftest import (
+    DIFFTEST_TRANSFORMS,
+    SweepFailure,
+    SweepReport,
+    differential_jobs,
+    differential_sweep,
+)
+from .engine import EngineStats, ExperimentEngine, default_engine
+from .jobs import TRANSFORMS, Job, JobResult, execute_job, jobs_for_matrix
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "CacheStats",
+    "NullCache",
+    "ResultCache",
+    "cache_key",
+    "code_version",
+    "default_cache_dir",
+    "DIFFTEST_TRANSFORMS",
+    "SweepFailure",
+    "SweepReport",
+    "differential_jobs",
+    "differential_sweep",
+    "EngineStats",
+    "ExperimentEngine",
+    "default_engine",
+    "TRANSFORMS",
+    "Job",
+    "JobResult",
+    "execute_job",
+    "jobs_for_matrix",
+]

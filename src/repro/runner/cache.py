@@ -1,0 +1,241 @@
+"""Content-addressed on-disk result cache for the experiment engine.
+
+Every cacheable computation is identified by a *stable* key: the SHA-256 of
+a canonical JSON rendering of (kind, parameters, code version).  Parameters
+always include the serialized DFG when a graph is involved, so two
+workloads that happen to share a name but differ structurally can never
+collide.  The code version is a digest of the ``repro`` package *sources*,
+so any edit to the library silently invalidates every entry — a cache hit
+is therefore always a replay of byte-identical code on byte-identical
+input.
+
+Entries are JSON envelopes ``{"key", "sha", "payload"}`` written atomically
+(temp file + rename).  A corrupted entry — truncated file, invalid JSON,
+key mismatch, or payload checksum mismatch — is *discarded and recomputed*,
+never returned: :meth:`ResultCache.get` deletes it and reports a miss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "CacheStats",
+    "NullCache",
+    "ResultCache",
+    "cache_key",
+    "code_version",
+    "default_cache_dir",
+]
+
+#: Bump to invalidate every existing cache entry on a format change.
+CACHE_SCHEMA = 1
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+_code_version: str | None = None
+
+
+def code_version() -> str:
+    """Digest of every ``.py`` source file in the ``repro`` package.
+
+    Computed once per process.  Keying cache entries on this digest means
+    *any* source change — not just version bumps — invalidates the cache,
+    so stale results can never survive a refactor.
+    """
+    global _code_version
+    if _code_version is None:
+        root = Path(__file__).resolve().parent.parent
+        h = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            h.update(str(path.relative_to(root)).encode())
+            h.update(b"\0")
+            h.update(path.read_bytes())
+            h.update(b"\0")
+        _code_version = h.hexdigest()[:16]
+    return _code_version
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``.repro-cache`` in the CWD."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    return Path(env) if env else Path(".repro-cache")
+
+
+def _canonical(obj: object) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def cache_key(kind: str, params: dict) -> str:
+    """Stable content address of one computation.
+
+    ``params`` must be a JSON-serializable dict fully determining the
+    result (include the serialized DFG, never just a workload name).
+    """
+    doc = {
+        "schema": CACHE_SCHEMA,
+        "code": code_version(),
+        "kind": kind,
+        "params": params,
+    }
+    return hashlib.sha256(_canonical(doc).encode()).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/corruption counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    discarded: int = 0  # corrupt entries deleted on read
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "discarded": self.discarded,
+        }
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from disk (0.0 with no lookups)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ResultCache:
+    """Content-addressed JSON store under one directory.
+
+    Payloads must be JSON-serializable; they come back exactly as
+    ``json.loads`` would render them (tuples become lists), so callers
+    should treat payloads as plain JSON data.
+    """
+
+    def __init__(self, root: Path | str | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.stats = CacheStats()
+
+    # -- paths ---------------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        # Two-level fan-out keeps directories small on big sweeps.
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- core API ------------------------------------------------------
+
+    def get(self, key: str) -> dict | None:
+        """Payload stored under ``key``; ``None`` (and a miss) otherwise.
+
+        A corrupted entry is unlinked and counted in ``stats.discarded``;
+        it is never returned.
+        """
+        path = self._path(key)
+        try:
+            raw = path.read_text()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            doc = json.loads(raw)
+            if doc["key"] != key:
+                raise ValueError("key mismatch")
+            payload = doc["payload"]
+            sha = hashlib.sha256(_canonical(payload).encode()).hexdigest()
+            if doc["sha"] != sha:
+                raise ValueError("payload checksum mismatch")
+        except (ValueError, KeyError, TypeError):
+            self.stats.discarded += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def put(self, key: str, payload: dict) -> None:
+        """Atomically store ``payload`` under ``key``."""
+        body = _canonical(payload)
+        doc = {
+            "key": key,
+            "sha": hashlib.sha256(body.encode()).hexdigest(),
+            "payload": payload,
+        }
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(doc, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.puts += 1
+
+    def get_or_compute(self, key: str, fn) -> dict:
+        """Cached payload for ``key``, computing and storing it on a miss."""
+        payload = self.get(key)
+        if payload is None:
+            payload = fn()
+            self.put(key, payload)
+        return payload
+
+    # -- maintenance ---------------------------------------------------
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if self.root.exists():
+            for path in self.root.rglob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.rglob("*.json"))
+
+
+class NullCache:
+    """Cache interface that never stores anything (``--no-cache``)."""
+
+    def __init__(self) -> None:
+        self.stats = CacheStats()
+
+    def get(self, key: str) -> dict | None:
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, payload: dict) -> None:
+        pass
+
+    def get_or_compute(self, key: str, fn) -> dict:
+        self.stats.misses += 1
+        return fn()
+
+    def clear(self) -> int:
+        return 0
+
+    def __len__(self) -> int:
+        return 0

@@ -1,0 +1,208 @@
+"""The parallel cached experiment engine.
+
+One object — :class:`ExperimentEngine` — owns the three concerns every
+sweep shares:
+
+* **fan-out**: cache misses are executed across a
+  ``concurrent.futures.ProcessPoolExecutor`` (``jobs > 1``) or inline
+  (``jobs == 1``); submission order is preserved in the results either
+  way, so parallel runs are bit-identical to serial ones;
+* **memoization**: every unit of work is a module-level function applied
+  to JSON parameters, content-addressed through
+  :class:`~repro.runner.cache.ResultCache` (see :func:`cache_key`);
+* **metrics**: per-call wall time, cache hit/miss counters and VM
+  instruction counts are accumulated in :class:`EngineStats` and rendered
+  by :meth:`ExperimentEngine.stats_summary` (the ``--stats`` CLI flag).
+
+Worker functions must be importable (module-level) and take a single JSON
+dict — the pickling contract of ``multiprocessing``.  The engine never
+caches in-band failures (``payload["ok"] is False``), so a crashed cell is
+retried on the next run.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .cache import NullCache, ResultCache, cache_key
+from .jobs import Job, JobResult, execute_job
+
+__all__ = ["EngineStats", "ExperimentEngine", "default_engine"]
+
+
+@dataclass
+class EngineStats:
+    """Aggregated metrics for one engine instance."""
+
+    calls: int = 0  # units of work requested
+    computed: int = 0  # executed (cache misses)
+    errors: int = 0  # in-band failures (payload["ok"] is False)
+    wall_time: float = 0.0  # sum of per-call compute time
+    vm_executed: int = 0  # VM compute instructions executed
+    vm_disabled: int = 0  # guarded computes whose predicate was off
+    job_times: list[tuple[str, float]] = field(default_factory=list)
+
+    def record(self, label: str, payload: dict, wall: float, cached: bool) -> None:
+        self.calls += 1
+        if not cached:
+            self.computed += 1
+            self.wall_time += wall
+            self.job_times.append((label, wall))
+        if payload.get("ok") is False:
+            self.errors += 1
+        self.vm_executed += payload.get("executed", 0) or 0
+        self.vm_disabled += payload.get("disabled", 0) or 0
+
+
+class ExperimentEngine:
+    """Parallel, cached executor for experiment workloads.
+
+    Parameters
+    ----------
+    jobs:
+        Worker-process count; ``1`` (default) runs inline, ``0``/``None``
+        means one per CPU.
+    cache:
+        A :class:`ResultCache`, a directory path for one, or ``None`` for
+        no caching (:class:`NullCache`).
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = 1,
+        cache: ResultCache | NullCache | Path | str | None = None,
+    ) -> None:
+        if jobs is None or jobs <= 0:
+            jobs = os.cpu_count() or 1
+        self.jobs = jobs
+        if cache is None:
+            self.cache: ResultCache | NullCache = NullCache()
+        elif isinstance(cache, (ResultCache, NullCache)):
+            self.cache = cache
+        else:
+            self.cache = ResultCache(cache)
+        self.stats = EngineStats()
+
+    # -- generic memoized fan-out --------------------------------------
+
+    def map_cached(
+        self,
+        kind: str,
+        fn,
+        params_list: list[dict],
+        labels: list[str] | None = None,
+    ) -> list[dict]:
+        """Apply module-level ``fn`` to every params dict, cached + parallel.
+
+        Returns payloads in input order.  Cache hits are served without
+        touching the pool; misses fan out across it and are stored on
+        success.  ``fn`` may report its own wall time via a
+        ``"compute_time"`` payload key (popped before caching); otherwise
+        the engine's measurement is used.
+        """
+        return [p for p, _, _ in self._map_detailed(kind, fn, params_list, labels)]
+
+    def _map_detailed(
+        self,
+        kind: str,
+        fn,
+        params_list: list[dict],
+        labels: list[str] | None = None,
+    ) -> list[tuple[dict, bool, float]]:
+        """:meth:`map_cached` returning ``(payload, cached, wall_time)``."""
+        labels = labels or [f"{kind}#{i}" for i in range(len(params_list))]
+        keys = [cache_key(kind, p) for p in params_list]
+        out: list[tuple[dict, bool, float] | None] = []
+        for i, key in enumerate(keys):
+            payload = self.cache.get(key)
+            if payload is not None:
+                self.stats.record(labels[i], payload, 0.0, cached=True)
+                out.append((payload, True, 0.0))
+            else:
+                out.append(None)
+
+        misses = [i for i, entry in enumerate(out) if entry is None]
+        if misses:
+            results = self._execute(fn, [params_list[i] for i in misses])
+            for i, (payload, wall) in zip(misses, results):
+                t = payload.pop("compute_time", None)
+                wall = t if t is not None else wall
+                if payload.get("ok", True):
+                    self.cache.put(keys[i], payload)
+                out[i] = (payload, False, wall)
+                self.stats.record(labels[i], payload, wall, cached=False)
+        return out  # type: ignore[return-value]
+
+    def _execute(self, fn, params_list: list[dict]) -> list[tuple[dict, float]]:
+        """Run ``fn`` over every params dict, preserving order."""
+        if self.jobs <= 1 or len(params_list) <= 1:
+            out = []
+            for params in params_list:
+                start = time.perf_counter()
+                payload = fn(params)
+                out.append((payload, time.perf_counter() - start))
+            return out
+        start = time.perf_counter()
+        workers = min(self.jobs, len(params_list))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            payloads = list(pool.map(fn, params_list))
+        elapsed = time.perf_counter() - start
+        # Fallback share if a worker did not self-report compute_time.
+        share = elapsed / len(params_list)
+        return [(p, share) for p in payloads]
+
+    def call_cached(self, kind: str, fn, params: dict, label: str | None = None) -> dict:
+        """Single-call convenience wrapper around :meth:`map_cached`."""
+        return self.map_cached(kind, fn, [params], [label or kind])[0]
+
+    # -- job matrix ----------------------------------------------------
+
+    def run_jobs(self, jobs: list[Job]) -> list[JobResult]:
+        """Execute a job matrix; results in submission order."""
+        params = [j.to_params() for j in jobs]
+        labels = [j.label for j in jobs]
+        detailed = self._map_detailed("job", execute_job, params, labels)
+        return [
+            JobResult(job=job, payload=payload, cached=cached, wall_time=wall)
+            for job, (payload, cached, wall) in zip(jobs, detailed)
+        ]
+
+    # -- reporting -----------------------------------------------------
+
+    def stats_summary(self) -> str:
+        """Human-readable metrics block (the ``--stats`` flag)."""
+        c = self.cache.stats
+        s = self.stats
+        lines = [
+            f"engine      : jobs={self.jobs}, "
+            f"cache={'off' if isinstance(self.cache, NullCache) else 'on'}",
+            f"work units  : {s.calls} requested, {s.computed} computed, "
+            f"{s.calls - s.computed} from cache, {s.errors} failed",
+            f"cache       : {c.hits} hits / {c.misses} misses "
+            f"({100.0 * c.hit_rate:.1f}% hit rate), "
+            f"{c.puts} stored, {c.discarded} corrupt discarded",
+            f"compute time: {s.wall_time:.3f}s total",
+            f"vm          : {s.vm_executed} computes executed, "
+            f"{s.vm_disabled} disabled",
+        ]
+        if s.job_times:
+            slowest = max(s.job_times, key=lambda kv: kv[1])
+            lines.append(f"slowest     : {slowest[0]} ({slowest[1]:.3f}s)")
+        return "\n".join(lines)
+
+
+def default_engine(
+    jobs: int = 1,
+    cache: bool = True,
+    cache_dir: Path | str | None = None,
+) -> ExperimentEngine:
+    """Engine with the conventional CLI defaults (on-disk cache enabled)."""
+    if not cache:
+        return ExperimentEngine(jobs=jobs, cache=None)
+    return ExperimentEngine(
+        jobs=jobs, cache=ResultCache(cache_dir) if cache_dir else ResultCache()
+    )

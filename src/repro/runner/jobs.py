@@ -1,0 +1,276 @@
+"""Job matrix for the experiment engine.
+
+A :class:`Job` names one cell of the sweep matrix — a workload (or an
+explicit serialized DFG), a transformation, an unfolding factor and a trip
+count.  :func:`execute_job` is the process-pool worker: it rebuilds the
+graph, applies the transformation, runs the resulting program on the VM,
+verifies it against the original loop, and returns a plain-JSON payload
+(so results cache and travel across process boundaries unchanged).
+
+Transformations whose plain (non-CSR) programs carry trip-count
+preconditions — a pipelined prologue needs ``n >= M_r``, an unfolded loop
+is specialized per residue — are run at an *effective* trip count recorded
+in the payload; CSR forms run at the requested trip count exactly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..codegen.combined import retimed_unfolded_loop, unfold_retimed_loop
+from ..codegen.original import original_loop
+from ..codegen.pipelined import pipelined_loop
+from ..codegen.unfolded import unfolded_loop
+from ..core.codesize import size_retime_unfold, size_unfold_retime
+from ..core.combined_csr import csr_retimed_unfolded_loop, csr_unfold_retimed_loop
+from ..core.csr import csr_pipelined_loop
+from ..core.predicated import PER_COPY, PER_ITERATION
+from ..core.unfolded_csr import csr_unfolded_loop
+from ..core.verify import assert_equivalent
+from ..graph.dfg import DFG, DFGError
+from ..graph.serialize import from_json, to_json
+from ..machine.vm import run_program
+from ..retiming.optimal import minimize_cycle_period
+from ..unfolding.orders import retime_unfold, unfold_retime
+from ..workloads.registry import get_workload
+
+__all__ = ["Job", "JobResult", "TRANSFORMS", "execute_job", "jobs_for_matrix"]
+
+#: Transformation names accepted by :class:`Job`, in canonical order.
+#: ``orders`` is the Theorem 4.4/4.5 comparison: both retiming+unfolding
+#: orders at the same period, sizes and the ``S_{r,f} <= S_{f,r}`` check.
+TRANSFORMS: tuple[str, ...] = (
+    "original",
+    "pipelined",
+    "csr-pipelined",
+    "unfolded",
+    "csr-unfolded",
+    "retime-unfold",
+    "csr-retime-unfold",
+    "csr-retime-unfold-periter",
+    "unfold-retime",
+    "csr-unfold-retime",
+    "orders",
+)
+
+
+@dataclass(frozen=True)
+class Job:
+    """One cell of the experiment matrix.
+
+    Exactly one of ``workload`` (registry name) or ``graph_json``
+    (serialized DFG) identifies the input graph; the cache key always uses
+    the serialized graph, so equal names with different structure cannot
+    collide.
+    """
+
+    transform: str
+    workload: str | None = None
+    graph_json: str | None = None
+    factor: int = 1
+    trip_count: int = 20
+    verify: bool = True
+    trace: bool = False
+
+    def __post_init__(self) -> None:
+        if self.transform not in TRANSFORMS:
+            raise ValueError(
+                f"unknown transform {self.transform!r}; one of {TRANSFORMS}"
+            )
+        if (self.workload is None) == (self.graph_json is None):
+            raise ValueError("exactly one of workload / graph_json is required")
+
+    def graph(self) -> DFG:
+        """A fresh instance of the job's input graph."""
+        if self.workload is not None:
+            return get_workload(self.workload)
+        return from_json(self.graph_json)
+
+    def to_params(self) -> dict:
+        """Canonical, fully-determining JSON parameters (the cache key)."""
+        return {
+            "graph": self.graph_json
+            if self.graph_json is not None
+            else to_json(self.graph(), indent=None),
+            "transform": self.transform,
+            "factor": self.factor,
+            "trip_count": self.trip_count,
+            "verify": self.verify,
+            "trace": self.trace,
+        }
+
+    @property
+    def label(self) -> str:
+        name = self.workload or "dfg"
+        return f"{name}/{self.transform}/f={self.factor}/n={self.trip_count}"
+
+
+@dataclass
+class JobResult:
+    """One job's payload plus engine-side bookkeeping."""
+
+    job: Job
+    payload: dict
+    cached: bool = False
+    wall_time: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.payload.get("ok", False)
+
+    @property
+    def error(self) -> str | None:
+        return self.payload.get("error")
+
+
+def _program_for(job_graph: DFG, transform: str, f: int, n: int):
+    """Build ``(program, effective_n, extras)`` for one transform."""
+    g = job_graph
+    extras: dict = {}
+    if f < 1:
+        raise DFGError(f"unfolding factor must be >= 1, got {f}")
+    if transform == "original":
+        return original_loop(g), n, extras
+    if transform in ("pipelined", "csr-pipelined"):
+        period, r = minimize_cycle_period(g)
+        extras["period"] = period
+        extras["registers"] = r.registers_needed()
+        extras["max_retiming"] = r.max_value
+        if transform == "csr-pipelined":
+            return csr_pipelined_loop(g, r), n, extras
+        return pipelined_loop(g, r), max(n, r.max_value), extras
+    if transform == "unfolded":
+        return unfolded_loop(g, f, residue=n % f), n, extras
+    if transform == "csr-unfolded":
+        return csr_unfolded_loop(g, f), n, extras
+    if transform in ("retime-unfold", "csr-retime-unfold", "csr-retime-unfold-periter"):
+        ru = retime_unfold(g, f)
+        r = ru.retiming
+        extras["period"] = ru.period
+        extras["registers"] = r.registers_needed()
+        extras["max_retiming"] = r.max_value
+        if transform == "csr-retime-unfold":
+            return csr_retimed_unfolded_loop(g, r, f, PER_COPY), n, extras
+        if transform == "csr-retime-unfold-periter":
+            return csr_retimed_unfolded_loop(g, r, f, PER_ITERATION), n, extras
+        n_eff = max(n, r.max_value)
+        leftover = (n_eff - r.max_value) % f
+        return retimed_unfolded_loop(g, r, f, leftover), n_eff, extras
+    if transform in ("unfold-retime", "csr-unfold-retime"):
+        ur = unfold_retime(g, f)
+        extras["period"] = ur.period
+        extras["registers"] = ur.retiming.registers_needed()
+        if transform == "csr-unfold-retime":
+            return csr_unfold_retimed_loop(g, ur.retiming, f), n, extras
+        program = unfold_retimed_loop(g, ur.retiming, f, residue=n % f)
+        n_eff = n
+        min_n = program.meta.get("min_n", 0)
+        if n_eff < min_n:
+            # Preserve the residue the program was specialized for.
+            n_eff += f * ((min_n - n_eff + f - 1) // f)
+        return program, n_eff, extras
+    raise DFGError(f"unknown transform {transform!r}")  # pragma: no cover
+
+
+def _orders_payload(g: DFG, f: int, n: int, verify: bool) -> dict:
+    """Theorem 4.4/4.5 comparison payload: both orders at the same period."""
+    ur = unfold_retime(g, f)
+    ru = retime_unfold(g, f, period=ur.period)
+    s_fr = size_unfold_retime(g, ur.retiming, f)
+    s_rf = size_retime_unfold(g, ru.retiming, f)
+    payload = {
+        "period": ur.period,
+        "size_unfold_retime": s_fr,
+        "size_retime_unfold": s_rf,
+        "inequality_holds": s_rf <= s_fr,
+        "registers": ru.retiming.registers_needed(),
+    }
+    executed = disabled = 0
+    if verify:
+        for prog in (
+            csr_retimed_unfolded_loop(g, ru.retiming, f),
+            csr_unfold_retimed_loop(g, ur.retiming, f),
+        ):
+            res = assert_equivalent(g, prog, n)
+            executed += res.executed
+            disabled += res.disabled
+        payload["equivalent"] = True
+    payload["executed"] = executed
+    payload["disabled"] = disabled
+    return payload
+
+
+def execute_job(params: dict) -> dict:
+    """Process-pool worker: run one job described by ``Job.to_params()``.
+
+    Always returns a JSON payload; failures are reported in-band as
+    ``{"ok": False, "error": ..., "error_type": ...}`` so one bad cell
+    cannot take down a sweep.
+    """
+    start = time.perf_counter()
+    transform = params["transform"]
+    f = params["factor"]
+    n = params["trip_count"]
+    try:
+        g = from_json(params["graph"])
+        if transform == "orders":
+            payload = _orders_payload(g, f, n, params["verify"])
+        else:
+            program, n_eff, extras = _program_for(g, transform, f, n)
+            payload = dict(extras)
+            payload["effective_n"] = n_eff
+            payload["code_size"] = program.code_size
+            if params["verify"] and transform != "original":
+                result = assert_equivalent(g, program, n_eff)
+                payload["equivalent"] = True
+            else:
+                result = run_program(program, n_eff, trace=params["trace"])
+            payload["executed"] = result.executed
+            payload["disabled"] = result.disabled
+            if result.trace is not None:
+                payload["trace_len"] = len(result.trace)
+        payload["ok"] = True
+        payload["error"] = None
+    except DFGError as exc:
+        # EquivalenceError / MachineError / construction failures alike:
+        # reported in-band, sweep continues.
+        payload = {
+            "ok": False,
+            "error": str(exc),
+            "error_type": type(exc).__name__,
+        }
+    payload["compute_time"] = time.perf_counter() - start
+    return payload
+
+
+def jobs_for_matrix(
+    workloads: list[str],
+    transforms: list[str],
+    factors: list[int],
+    trip_counts: list[int],
+    verify: bool = True,
+) -> list[Job]:
+    """The full cross product, skipping factor-irrelevant duplicates.
+
+    Transforms that ignore the unfolding factor (``original``,
+    ``pipelined``, ``csr-pipelined``) appear once per trip count rather
+    than once per factor.
+    """
+    factorless = {"original", "pipelined", "csr-pipelined"}
+    jobs: list[Job] = []
+    for w in workloads:
+        for t in transforms:
+            fs = [1] if t in factorless else factors
+            for f in fs:
+                for n in trip_counts:
+                    jobs.append(
+                        Job(
+                            transform=t,
+                            workload=w,
+                            factor=f,
+                            trip_count=n,
+                            verify=verify,
+                        )
+                    )
+    return jobs

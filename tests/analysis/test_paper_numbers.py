@@ -1,0 +1,123 @@
+"""Regression pins for the paper's published numbers (Tables 1-4).
+
+``PAPER_TABLE*`` are transcriptions of the 2002 paper — they must never
+drift, and the engine-driven table pipeline must render the same bytes as
+the direct one.  A cache bug, a refactor of the drivers, or an accidental
+edit of a published column fails here, in tier-1, before it can silently
+corrupt EXPERIMENTS.md or the benchmark reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    format_order_comparison,
+    format_table1,
+    format_table2,
+    table1_rows,
+    table2_rows,
+    table3_comparison,
+    table4_comparison,
+)
+from repro.runner import ExperimentEngine, ResultCache
+
+
+class TestPublishedNumbers:
+    """Byte-for-byte pins of the transcribed paper columns."""
+
+    def test_table1_published_columns(self):
+        assert PAPER_TABLE1 == {
+            "iir": (8, 16, 12, 2, 25.0),
+            "diffeq": (11, 33, 17, 3, 48.5),
+            "allpole": (15, 60, 23, 4, 61.7),
+            "elliptic": (34, 68, 40, 3, 41.2),
+            "lattice": (26, 78, 32, 3, 59.0),
+            "volterra": (27, 54, 31, 2, 42.6),
+        }
+
+    def test_table2_published_columns(self):
+        assert PAPER_TABLE2 == {
+            "iir": (48, 32, 2, 33.3),
+            "diffeq": (77, 45, 3, 41.6),
+            "allpole": (120, 61, 4, 49.2),
+            "elliptic": (238, 114, 3, 52.1),
+            "lattice": (182, 90, 3, 50.5),
+            "volterra": (168, 89, 2, 47.0),
+        }
+
+    def test_table3_published_columns(self):
+        assert PAPER_TABLE3 == {
+            "unfold-retime": (20, 30, 40),
+            "retime-unfold": (20, 30, 30),
+            "retime-unfold-CR": (14, 19, 24),
+            "iteration period": (20, 19, 13.5),
+        }
+
+    def test_table4_published_columns(self):
+        assert PAPER_TABLE4 == {
+            "unfold-retime": (156, 312, 416),
+            "retime-unfold": (130, 156, 182),
+            "retime-unfold-CR": (61, 90, 119),
+        }
+
+
+@pytest.fixture(scope="module")
+def engine(tmp_path_factory):
+    return ExperimentEngine(jobs=1, cache=ResultCache(tmp_path_factory.mktemp("cache")))
+
+
+class TestEngineRendersIdenticalTables:
+    """The engine path must be byte-identical to the direct path — twice,
+    so the second (cache-served) render is pinned too."""
+
+    def test_table1_bytes(self, engine):
+        direct = format_table1(table1_rows())
+        assert format_table1(table1_rows(engine=engine)) == direct
+        assert format_table1(table1_rows(engine=engine)) == direct  # cached
+
+    def test_table2_bytes(self, engine):
+        direct = format_table2(table2_rows())
+        assert format_table2(table2_rows(engine=engine)) == direct
+        assert format_table2(table2_rows(engine=engine)) == direct
+
+    def test_table3_bytes(self, engine):
+        direct = format_order_comparison(table3_comparison(), PAPER_TABLE3)
+        for _ in range(2):
+            assert (
+                format_order_comparison(table3_comparison(engine=engine), PAPER_TABLE3)
+                == direct
+            )
+
+    def test_table4_bytes(self, engine):
+        direct = format_order_comparison(table4_comparison(), PAPER_TABLE4)
+        for _ in range(2):
+            assert (
+                format_order_comparison(table4_comparison(engine=engine), PAPER_TABLE4)
+                == direct
+            )
+
+    def test_second_pass_served_from_cache(self, engine):
+        """After the renders above, the hit rate reflects real cache use."""
+        assert engine.cache.stats.hits >= 18
+        assert engine.cache.stats.hit_rate >= 0.5
+
+    def test_measured_rows_match_published_where_exact(self, engine):
+        """The engine-computed measured columns hit the published values on
+        the rows the reproduction matches exactly (guards cache payloads
+        against type drift, e.g. Fraction -> float)."""
+        rows = {r.name: r for r in table1_rows(engine=engine)}
+        for name in ("iir", "diffeq", "allpole", "lattice", "volterra"):
+            paper = PAPER_TABLE1[name]
+            assert rows[name].original == paper[0]
+            assert rows[name].retimed == paper[1]
+            assert rows[name].csr == paper[2]
+            assert rows[name].registers == paper[3]
+        cols = table3_comparison(engine=engine)
+        assert [c.retime_unfold_size for c in cols] == [20, 30, 30]
+        cols4 = table4_comparison(engine=engine)
+        assert [c.csr_size for c in cols4] == [61, 90, 119]

@@ -59,3 +59,23 @@ class TestVerify:
 
     def test_custom_initial_state(self, fig4):
         assert_equivalent(fig4, original_loop(fig4), 5, initial=lambda a, i: 42)
+
+    def test_malformed_graph_error_propagates(self, fig4):
+        """A structural DFGError (zero-delay cycle -> no topological order)
+        must propagate from `equivalent`, not masquerade as False."""
+        from repro.graph import DFG, DFGError
+
+        bad = DFG("malformed")
+        bad.add_node("A", op=OpKind.ADD, imm=1)
+        bad.add_node("B", op=OpKind.ADD, imm=1)
+        bad.add_edge("A", "B", 0)
+        bad.add_edge("B", "A", 0)  # zero-delay cycle: unschedulable
+        with pytest.raises(DFGError) as excinfo:
+            equivalent(bad, original_loop(fig4), 5)
+        assert not isinstance(excinfo.value, EquivalenceError)
+
+    def test_machine_error_still_counts_as_nonequivalent(self, fig4):
+        """The VM's trip-count precondition is a MachineError: caught."""
+        p = original_loop(fig4)
+        bounded = replace(p, meta={**p.meta, "min_n": 100})
+        assert not equivalent(fig4, bounded, 5)

@@ -82,3 +82,60 @@ def test_decrement_modes_agree_randomly(g, seed, f, n):
     b = run_program(csr_retimed_unfolded_loop(g, r, f, PER_ITERATION), n)
     assert a.arrays == b.arrays
     assert a.executed == b.executed
+
+
+# ----------------------------------------------------------------------
+# The same ground, routed through the experiment engine.
+# ----------------------------------------------------------------------
+
+
+def _engine_jobs(seeds: range) -> list:
+    """Deterministic per-seed job slices of the random-graph matrix."""
+    from repro.graph.generators import random_dfg
+    from repro.graph.serialize import to_json
+    from repro.runner import Job
+
+    jobs = []
+    for seed in seeds:
+        rng = random.Random(seed)
+        g = random_dfg(rng, num_nodes=rng.randint(1, 5), extra_edges=rng.randint(0, 4))
+        graph_json = to_json(g, indent=None)
+        for transform, f in (
+            ("csr-pipelined", 1),
+            ("csr-retime-unfold", 2),
+            ("csr-unfold-retime", 2),
+        ):
+            jobs.append(
+                Job(
+                    transform=transform,
+                    graph_json=graph_json,
+                    factor=f,
+                    trip_count=rng.randint(0, 9),
+                )
+            )
+    return jobs
+
+
+def test_engine_parallel_matches_serial_run():
+    """Determinism under parallelism: the same seeded job matrix, run
+    inline and across a 2-process pool, yields bit-identical payloads."""
+    from repro.runner import ExperimentEngine
+
+    jobs = _engine_jobs(range(20))
+    serial = ExperimentEngine(jobs=1, cache=None).run_jobs(jobs)
+    parallel = ExperimentEngine(jobs=2, cache=None).run_jobs(jobs)
+    assert all(r.ok for r in serial), [r.error for r in serial if not r.ok]
+    assert [r.payload for r in serial] == [r.payload for r in parallel]
+
+
+def test_engine_cached_rerun_matches_fresh_run(tmp_path):
+    """A cache-served re-run of the seeded matrix replays the fresh
+    results exactly (and actually comes from the cache)."""
+    from repro.runner import ExperimentEngine, ResultCache
+
+    jobs = _engine_jobs(range(10))
+    engine = ExperimentEngine(jobs=1, cache=ResultCache(tmp_path))
+    fresh = engine.run_jobs(jobs)
+    replay = engine.run_jobs(jobs)
+    assert all(r.cached for r in replay)
+    assert [r.payload for r in fresh] == [r.payload for r in replay]

@@ -1,0 +1,64 @@
+"""The randomized differential harness on a small (fast) sweep.
+
+The 200-graph acceptance sweep runs via ``python -m repro sweep`` (and in
+CI); here a smaller seeded sweep keeps tier-1 runtime bounded while still
+crossing every transformation order.
+"""
+
+from __future__ import annotations
+
+from repro.runner import (
+    DIFFTEST_TRANSFORMS,
+    ExperimentEngine,
+    ResultCache,
+    differential_jobs,
+    differential_sweep,
+)
+
+
+class TestDifferentialSweep:
+    def test_small_sweep_passes(self):
+        report = differential_sweep(
+            num_graphs=12, engine=ExperimentEngine(jobs=1, cache=None)
+        )
+        assert report.ok, report.summary()
+        assert report.graphs == 12
+        assert report.inequality_checks == 12 * 2  # two factors
+        assert report.equivalence_checks > 300
+        assert "PASS" in report.summary()
+
+    def test_sweep_is_deterministic(self):
+        a = differential_sweep(num_graphs=4, seed=100)
+        b = differential_sweep(num_graphs=4, seed=100)
+        assert (a.checks, a.equivalence_checks, a.failures) == (
+            b.checks,
+            b.equivalence_checks,
+            b.failures,
+        )
+
+    def test_sweep_is_incremental_through_the_cache(self, tmp_path):
+        engine = ExperimentEngine(jobs=1, cache=ResultCache(tmp_path))
+        differential_sweep(num_graphs=3, engine=engine)
+        computed_first = engine.stats.computed
+        assert computed_first > 0
+        differential_sweep(num_graphs=3, engine=engine)
+        assert engine.stats.computed == computed_first  # second pass: all hits
+
+    def test_jobs_cover_every_transform(self):
+        jobs = differential_jobs(seed=0)
+        assert {j.transform for j in jobs} == set(DIFFTEST_TRANSFORMS)
+        # The graph is identical across the seed's jobs (one generation).
+        assert len({j.graph_json for j in jobs}) == 1
+
+    def test_failure_reporting_shape(self):
+        # Factor 0 is rejected by the transforms: every cell errors in-band
+        # and the report collects them instead of raising.
+        report = differential_sweep(
+            num_graphs=1,
+            factors=(0,),
+            transforms=("csr-unfolded",),
+            engine=ExperimentEngine(jobs=1, cache=None),
+        )
+        assert not report.ok
+        assert report.failures[0].kind == "error"
+        assert "FAIL" in report.summary()

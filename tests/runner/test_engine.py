@@ -1,0 +1,119 @@
+"""Engine behavior: ordering, parallelism, stats, and the job matrix."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runner import (
+    ExperimentEngine,
+    Job,
+    NullCache,
+    ResultCache,
+    TRANSFORMS,
+    jobs_for_matrix,
+)
+
+
+def _matrix() -> list[Job]:
+    return jobs_for_matrix(
+        workloads=["iir", "figure4"],
+        transforms=["original", "csr-pipelined", "csr-retime-unfold", "orders"],
+        factors=[2, 3],
+        trip_counts=[0, 9],
+    )
+
+
+class TestEngine:
+    def test_results_in_submission_order(self, tmp_path):
+        engine = ExperimentEngine(jobs=1, cache=ResultCache(tmp_path))
+        jobs = _matrix()
+        results = engine.run_jobs(jobs)
+        assert [r.job for r in results] == jobs
+        assert all(r.ok for r in results), [r.error for r in results if not r.ok]
+
+    def test_parallel_equals_serial(self, tmp_path):
+        """Determinism under parallelism: a 2-worker pool returns payloads
+        bit-identical to an inline run of the same matrix."""
+        jobs = _matrix()
+        serial = ExperimentEngine(jobs=1, cache=None).run_jobs(jobs)
+        parallel = ExperimentEngine(jobs=2, cache=None).run_jobs(jobs)
+        assert [r.payload for r in serial] == [r.payload for r in parallel]
+
+    def test_second_run_is_all_hits(self, tmp_path):
+        engine = ExperimentEngine(jobs=1, cache=ResultCache(tmp_path))
+        jobs = _matrix()
+        first = engine.run_jobs(jobs)
+        assert not any(r.cached for r in first)
+        second = engine.run_jobs(jobs)
+        assert all(r.cached for r in second)
+        assert [r.payload for r in first] == [r.payload for r in second]
+        assert engine.cache.stats.hit_rate == 0.5  # second half all hits
+
+    def test_cross_engine_cache_sharing(self, tmp_path):
+        """Two engines over one cache dir: the second replays the first."""
+        jobs = _matrix()
+        a = ExperimentEngine(jobs=1, cache=ResultCache(tmp_path))
+        b = ExperimentEngine(jobs=1, cache=ResultCache(tmp_path))
+        pa = [r.payload for r in a.run_jobs(jobs)]
+        rb = b.run_jobs(jobs)
+        assert all(r.cached for r in rb)
+        assert [r.payload for r in rb] == pa
+
+    def test_stats_accumulate(self, tmp_path):
+        engine = ExperimentEngine(jobs=1, cache=ResultCache(tmp_path))
+        jobs = _matrix()
+        engine.run_jobs(jobs)
+        s = engine.stats
+        assert s.calls == len(jobs)
+        assert s.computed == len(jobs)
+        assert s.vm_executed > 0
+        assert s.wall_time > 0
+        assert len(s.job_times) == len(jobs)
+        summary = engine.stats_summary()
+        assert "hit rate" in summary and "computes executed" in summary
+
+    def test_map_cached_generic_fn(self, tmp_path):
+        engine = ExperimentEngine(jobs=1, cache=ResultCache(tmp_path))
+        out = engine.map_cached("square", _square, [{"x": i} for i in range(5)])
+        assert [p["y"] for p in out] == [0, 1, 4, 9, 16]
+        again = engine.map_cached("square", _square, [{"x": i} for i in range(5)])
+        assert again == out
+        assert engine.cache.stats.hits == 5
+
+    def test_engine_jobs_zero_means_cpu_count(self):
+        assert ExperimentEngine(jobs=0, cache=None).jobs >= 1
+        assert isinstance(ExperimentEngine(jobs=0, cache=None).cache, NullCache)
+
+
+def _square(params: dict) -> dict:
+    return {"ok": True, "y": params["x"] ** 2}
+
+
+class TestJobMatrix:
+    def test_factorless_transforms_not_duplicated(self):
+        jobs = jobs_for_matrix(["iir"], ["csr-pipelined"], [2, 3, 4], [5])
+        assert len(jobs) == 1  # factor-independent: one cell, not three
+
+    def test_factorful_transforms_sweep_factors(self):
+        jobs = jobs_for_matrix(["iir"], ["csr-unfolded"], [2, 3, 4], [5, 6])
+        assert len(jobs) == 6
+
+    def test_unknown_transform_rejected(self):
+        with pytest.raises(ValueError, match="unknown transform"):
+            Job(transform="nonsense", workload="iir")
+
+    def test_graph_source_is_exclusive(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            Job(transform="original")
+        with pytest.raises(ValueError, match="exactly one"):
+            Job(transform="original", workload="iir", graph_json="{}")
+
+    def test_all_transforms_run_on_a_benchmark(self, tmp_path):
+        engine = ExperimentEngine(jobs=1, cache=None)
+        jobs = [
+            Job(transform=t, workload="figure4", factor=2, trip_count=8)
+            for t in TRANSFORMS
+        ]
+        results = engine.run_jobs(jobs)
+        failed = [r.job.label for r in results if not r.ok]
+        assert not failed, failed
