@@ -12,14 +12,23 @@ Examples::
     python -m repro tables 1 2                   # regenerate paper tables
     python -m repro tables --jobs 4 --stats      # parallel cached tables
     python -m repro sweep --graphs 200 --jobs 0  # differential test sweep
+    python -m repro profile --workload figure8 --trace out.json
+                                                 # per-stage breakdown + trace
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
-from .analysis.__main__ import add_engine_arguments, engine_from_args, print_tables
+from . import observability
+from .analysis.__main__ import (
+    add_engine_arguments,
+    engine_from_args,
+    export_observability,
+    print_tables,
+)
 from .codegen import emit_c, format_program, original_loop
 from .core import (
     assert_equivalent,
@@ -151,6 +160,7 @@ def _cmd_tables(args) -> int:
     if args.stats:
         print("=== Engine stats ===")
         print(engine.stats_summary())
+    export_observability(args, engine)
     return 0
 
 
@@ -170,7 +180,61 @@ def _cmd_sweep(args) -> int:
     if args.stats:
         print("=== Engine stats ===")
         print(engine.stats_summary())
+    export_observability(args, engine)
     return 0 if report.ok else 1
+
+
+def _cmd_profile(args) -> int:
+    """Per-stage time breakdown of the pipeline on one workload."""
+    from .machine.vm import run_program
+
+    observability.enable()
+    g = get_workload(args.workload)
+    with observability.span(
+        "profile", workload=args.workload, n=args.n, unfold=args.unfold
+    ):
+        with observability.span("stage.retiming"):
+            period, r = minimize_cycle_period(g)
+        with observability.span("stage.csr_rewrite"):
+            if args.unfold > 1:
+                program = csr_retimed_unfolded_loop(g, r, args.unfold)
+            else:
+                program = csr_pipelined_loop(g, r)
+        with observability.span("stage.vm_execute"):
+            if args.no_verify:
+                result = run_program(program, args.n)
+            else:
+                result = assert_equivalent(g, program, args.n)
+
+    roots = observability.OBS.tracer.roots
+    print(
+        f"profile: {g.name} — period {period}, code size {program.code_size}, "
+        f"n={args.n}, {result.executed} executed / {result.disabled} disabled"
+    )
+    print()
+    print(observability.format_breakdown(roots))
+    counters = observability.OBS.metrics.as_dict()["counters"]
+    if counters:
+        print()
+        print("counters:")
+        for name, value in counters.items():
+            print(f"  {name} = {value}")
+    if args.trace:
+        observability.write_chrome_trace(args.trace, roots)
+        print()
+        print(
+            f"wrote Chrome trace: {args.trace} "
+            "(open in chrome://tracing or ui.perfetto.dev)"
+        )
+    if args.metrics_out:
+        Path(args.metrics_out).write_text(observability.OBS.metrics.to_json())
+        print(f"wrote metrics JSON: {args.metrics_out}")
+    if args.prometheus_out:
+        Path(args.prometheus_out).write_text(
+            observability.OBS.metrics.to_prometheus()
+        )
+        print(f"wrote Prometheus metrics: {args.prometheus_out}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -230,6 +294,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("tables", nargs="*", choices=["1", "2", "3", "4"], metavar="N")
     add_engine_arguments(p)
     p.set_defaults(fn=_cmd_tables)
+
+    p = sub.add_parser(
+        "profile",
+        help="per-stage time breakdown (retiming, CSR rewrite, VM execution)",
+    )
+    p.add_argument("--workload", required=True, help="workload to profile")
+    p.add_argument("-n", type=int, default=50, help="trip count (default 50)")
+    p.add_argument("--unfold", type=int, default=1, metavar="F")
+    p.add_argument(
+        "--trace", metavar="FILE", help="write a Chrome trace-event JSON"
+    )
+    p.add_argument(
+        "--metrics-out", metavar="FILE", help="write the JSON metrics export"
+    )
+    p.add_argument(
+        "--prometheus-out",
+        metavar="FILE",
+        help="write the Prometheus text-format metrics export",
+    )
+    p.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="run the VM without checking against the original loop",
+    )
+    p.set_defaults(fn=_cmd_profile)
 
     p = sub.add_parser(
         "sweep", help="randomized differential-testing sweep (all orders)"

@@ -19,7 +19,9 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
+from .. import observability
 from ..runner.engine import ExperimentEngine, default_engine
 from .experiments import (
     PAPER_TABLE3,
@@ -77,13 +79,46 @@ def add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print engine metrics (cache hits, wall time, VM counts)",
     )
+    group.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="enable tracing; write a Chrome trace-event JSON to FILE",
+    )
+    group.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="enable metrics; write the JSON metrics export to FILE",
+    )
 
 
 def engine_from_args(args: argparse.Namespace) -> ExperimentEngine:
-    """Build the engine an argparse namespace describes."""
+    """Build the engine an argparse namespace describes.
+
+    Requesting ``--trace`` or ``--metrics-out`` turns observability on for
+    the whole run (workers included) before any work is submitted.
+    """
+    if getattr(args, "trace", None) or getattr(args, "metrics_out", None):
+        observability.enable()
     return default_engine(
         jobs=args.jobs, cache=not args.no_cache, cache_dir=args.cache_dir
     )
+
+
+def export_observability(args: argparse.Namespace, engine: ExperimentEngine) -> None:
+    """Write the ``--trace`` / ``--metrics-out`` artifacts after a run."""
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics_out", None)
+    if not trace_path and not metrics_path:
+        return
+    engine.publish_metrics()
+    if trace_path:
+        observability.write_chrome_trace(trace_path, observability.OBS.tracer.roots)
+        print(f"wrote Chrome trace: {trace_path}", file=sys.stderr)
+    if metrics_path:
+        Path(metrics_path).write_text(observability.OBS.metrics.to_json())
+        print(f"wrote metrics JSON: {metrics_path}", file=sys.stderr)
 
 
 def print_tables(wanted: set[str], engine: ExperimentEngine) -> None:
@@ -117,6 +152,7 @@ def main(argv: list[str]) -> int:
     if args.stats:
         print("=== Engine stats ===")
         print(engine.stats_summary())
+    export_observability(args, engine)
     return 0
 
 

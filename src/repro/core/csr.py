@@ -18,6 +18,7 @@ from __future__ import annotations
 from ..graph.dfg import DFG
 from ..graph.validate import topological_order
 from ..codegen.ir import LoopProgram
+from ..observability import count, span
 from ..retiming.function import Retiming
 from .predicated import PER_ITERATION, predicated_program
 
@@ -31,20 +32,22 @@ def csr_pipelined_loop(g: DFG, r: Retiming) -> LoopProgram:
     for *every* trip count ``n >= 0`` — guards simply disable everything
     out of range, so even ``n < M_r`` needs no special casing.
     """
-    r = r.normalized()
-    r.check_legal()
-    order = [(v, 0) for v in topological_order(r.apply())]
-    shifts = {(v, 0): r[v] for v in g.node_names()}
-    return predicated_program(
-        g,
-        f=1,
-        shifts=shifts,
-        body_order=order,
-        mode=PER_ITERATION,
-        name=f"{g.name}.csr_pipelined",
-        meta={
-            "kind": "csr-pipelined",
-            "retiming": r.as_dict(),
-            "max_retiming": r.max_value,
-        },
-    )
+    count("csr.programs")
+    with span("csr.rewrite", graph=g.name, nodes=g.num_nodes):
+        r = r.normalized()
+        r.check_legal()
+        order = [(v, 0) for v in topological_order(r.apply())]
+        shifts = {(v, 0): r[v] for v in g.node_names()}
+        return predicated_program(
+            g,
+            f=1,
+            shifts=shifts,
+            body_order=order,
+            mode=PER_ITERATION,
+            name=f"{g.name}.csr_pipelined",
+            meta={
+                "kind": "csr-pipelined",
+                "retiming": r.as_dict(),
+                "max_retiming": r.max_value,
+            },
+        )

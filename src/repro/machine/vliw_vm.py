@@ -21,6 +21,7 @@ from typing import Callable
 
 from ..codegen.ir import ComputeInstr, DecInstr, LoopProgram, SetupInstr
 from ..graph.dfg import evaluate_op
+from ..observability import OBS, span
 from ..schedule.resources import ResourceModel
 from ..schedule.vliw import VliwSchedule, pack_body, pack_straightline
 from .registers import ConditionalRegisterFile, MachineError
@@ -112,10 +113,19 @@ def run_packed(
                 # Both setups and staged decrements commit as direct stores.
                 regs.setup(reg, val)
 
-    run_words(pre, None)
-    for i in program.loop.iter_indices(n):
-        run_words(body, i)
-    run_words(post, None)
+    with span("vm.packed_run", program=program.name, n=n) as sp:
+        run_words(pre, None)
+        for i in program.loop.iter_indices(n):
+            run_words(body, i)
+        run_words(post, None)
+        sp.set(cycles=cycles, executed=executed)
+
+    if OBS.enabled:
+        m = OBS.metrics
+        m.counter("vliw.cycles", "VLIW words committed").inc(cycles)
+        m.counter("vliw.instructions.executed", "packed computes executed").inc(
+            executed
+        )
 
     return PackedResult(
         arrays=arrays, cycles=cycles, executed=executed, disabled=disabled

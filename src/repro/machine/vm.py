@@ -23,6 +23,7 @@ from typing import Callable
 
 from ..codegen.ir import ComputeInstr, DecInstr, Instr, LoopProgram, SetupInstr
 from ..graph.dfg import evaluate_op
+from ..observability import OBS, span
 from .registers import ConditionalRegisterFile, MachineError
 from .trace import ExecutionTrace
 
@@ -147,12 +148,28 @@ def run_program(
         if tr is not None:
             tr.record(instr.dest.array, dest_index, region, i)
 
-    for instr in program.pre:
-        execute(instr, None, "pre")
-    for i in program.loop.iter_indices(n):
-        for instr in program.loop.body:
-            execute(instr, i, "body")
-    for instr in program.post:
-        execute(instr, None, "post")
+    # One span per run and bulk counter updates at the end — the per-
+    # instruction loop carries no observability cost.
+    with span("vm.run", program=program.name, n=n) as sp:
+        for instr in program.pre:
+            execute(instr, None, "pre")
+        for i in program.loop.iter_indices(n):
+            for instr in program.loop.body:
+                execute(instr, i, "body")
+        for instr in program.post:
+            execute(instr, None, "post")
+        sp.set(executed=executed, disabled=disabled)
+
+    if OBS.enabled:
+        m = OBS.metrics
+        m.counter(
+            "vm.instructions.executed", "compute instructions executed"
+        ).inc(executed)
+        m.counter(
+            "vm.instructions.disabled", "guarded computes whose predicate was off"
+        ).inc(disabled)
+        m.histogram(
+            "vm.run.instructions", "executed instructions per program run"
+        ).observe(executed)
 
     return VMResult(arrays=arrays, executed=executed, disabled=disabled, trace=tr)

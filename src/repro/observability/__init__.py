@@ -1,0 +1,128 @@
+"""Zero-dependency structured tracing and metrics for the pipeline.
+
+One module-level switch governs the whole subsystem.  Every hook in the
+library is written as::
+
+    from ..observability import OBS, span
+
+    with span("retiming.minimize", graph=g.name) as sp:   # no-op when off
+        ...
+    if OBS.enabled:                                       # bulk, not per-op
+        OBS.metrics.counter("vm.instructions.executed").inc(executed)
+
+When tracing is **off** (the default) a hook costs one attribute check —
+``span`` returns a shared null context manager and the metrics branch is
+never taken — so the hot paths stay hot.  When **on**, spans collect into
+:attr:`OBS.tracer <Observability.tracer>` and counters into
+:attr:`OBS.metrics <Observability.metrics>`.
+
+Cross-process aggregation: a worker process calls :func:`export_state` and
+ships the plain-JSON result home in its payload envelope; the parent calls
+:func:`absorb_state` to merge the worker's spans (on their own ``pid``
+lane) and metric deltas into the run's collectors.  This is how
+:class:`~repro.runner.engine.ExperimentEngine` makes a parallel sweep's
+trace and counters equal a serial run's.
+"""
+
+from __future__ import annotations
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .trace import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    aggregate_spans,
+    chrome_trace_events,
+    format_breakdown,
+    spans_from_chrome_events,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "OBS",
+    "Observability",
+    "Span",
+    "Tracer",
+    "absorb_state",
+    "aggregate_spans",
+    "chrome_trace_events",
+    "count",
+    "disable",
+    "enable",
+    "export_state",
+    "format_breakdown",
+    "span",
+    "spans_from_chrome_events",
+    "write_chrome_trace",
+]
+
+
+class Observability:
+    """The process-wide tracing/metrics switchboard (singleton ``OBS``)."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.tracer = Tracer()
+        self.metrics = MetricsRegistry()
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Fresh tracer and registry; the enabled flag is unchanged."""
+        self.tracer = Tracer()
+        self.metrics = MetricsRegistry()
+
+
+#: The process-wide instance every hook checks.
+OBS = Observability()
+
+
+def enable() -> None:
+    """Turn tracing and metrics collection on for this process."""
+    OBS.enable()
+
+
+def disable() -> None:
+    OBS.disable()
+
+
+def span(name: str, **attributes):
+    """A tracer span when observability is on, a shared no-op otherwise."""
+    if not OBS.enabled:
+        return NULL_SPAN
+    return OBS.tracer.span(name, **attributes)
+
+
+def count(name: str, n: int = 1) -> None:
+    """Guarded counter increment for call sites without a local guard."""
+    if OBS.enabled:
+        OBS.metrics.counter(name).inc(n)
+
+
+def export_state(reset: bool = True) -> dict:
+    """JSON envelope of this process's spans and metric deltas.
+
+    With ``reset`` (the default) the collectors are cleared afterwards, so
+    a long-lived worker process exports disjoint deltas per unit of work.
+    """
+    state = {"spans": OBS.tracer.export(), "metrics": OBS.metrics.as_dict()}
+    if reset:
+        OBS.tracer.clear()
+        OBS.metrics.reset()
+    return state
+
+
+def absorb_state(state: dict | None) -> None:
+    """Merge an :func:`export_state` envelope from another process."""
+    if not state:
+        return
+    OBS.tracer.absorb(state.get("spans", []))
+    OBS.metrics.merge(state.get("metrics", {}))

@@ -84,13 +84,13 @@ class Retiming:
     # ------------------------------------------------------------------
     @property
     def max_value(self) -> int:
-        """``M_r = max_u r(u)``: the software pipelining depth."""
-        return max(self._values.values())
+        """``M_r = max_u r(u)``; 0 for the empty graph's retiming."""
+        return max(self._values.values(), default=0)
 
     @property
     def min_value(self) -> int:
-        """``min_u r(u)``; 0 for a normalized retiming."""
-        return min(self._values.values())
+        """``min_u r(u)``; 0 for a normalized (or empty) retiming."""
+        return min(self._values.values(), default=0)
 
     @property
     def is_normalized(self) -> bool:

@@ -20,6 +20,7 @@ from __future__ import annotations
 from ..graph.dfg import DFG
 from ..graph.period import cycle_period
 from ..graph.wd import wd_matrices
+from ..observability import count, span
 from .constraints import DifferenceConstraints
 from .function import Retiming
 
@@ -34,6 +35,7 @@ def retime_for_period(g: DFG, c: int) -> Retiming | None:
     impossible regardless of retiming; that case returns ``None``
     immediately.
     """
+    count("retiming.feasibility_checks")
     if any(v.time > c for v in g.nodes()):
         return None
 
@@ -67,24 +69,29 @@ def minimize_cycle_period(g: DFG) -> tuple[int, Retiming]:
     """
     from ..graph.wd import distinct_d_values
 
-    candidates = distinct_d_values(g)
-    lo, hi = 0, len(candidates) - 1
-    best: tuple[int, Retiming] | None = None
-    while lo <= hi:
-        mid = (lo + hi) // 2
-        c = candidates[mid]
-        r = retime_for_period(g, c)
-        if r is not None:
-            best = (c, r)
-            hi = mid - 1
-        else:
-            lo = mid + 1
-    if best is None:  # pragma: no cover - cannot happen for legal graphs
-        raise AssertionError("no feasible cycle period found; graph is illegal")
-    # The optimum is the *achieved* period of the witness, which can be
-    # strictly below the candidate bound that the search proved feasible.
-    c, r = best
-    achieved = cycle_period(r.apply())
+    with span("retiming.minimize", graph=g.name, nodes=g.num_nodes) as sp:
+        candidates = distinct_d_values(g)
+        lo, hi = 0, len(candidates) - 1
+        best: tuple[int, Retiming] | None = None
+        iterations = 0
+        while lo <= hi:
+            iterations += 1
+            mid = (lo + hi) // 2
+            c = candidates[mid]
+            r = retime_for_period(g, c)
+            if r is not None:
+                best = (c, r)
+                hi = mid - 1
+            else:
+                lo = mid + 1
+        if best is None:  # pragma: no cover - cannot happen for legal graphs
+            raise AssertionError("no feasible cycle period found; graph is illegal")
+        # The optimum is the *achieved* period of the witness, which can be
+        # strictly below the candidate bound that the search proved feasible.
+        c, r = best
+        achieved = cycle_period(r.apply())
+        sp.set(period=achieved, iterations=iterations)
+    count("retiming.iterations", iterations)
     return achieved, r
 
 

@@ -24,6 +24,8 @@ import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from ..observability import count
+
 __all__ = [
     "CACHE_SCHEMA",
     "CacheStats",
@@ -105,6 +107,15 @@ class CacheStats:
             "discarded": self.discarded,
         }
 
+    def merge(self, delta: "CacheStats | dict") -> None:
+        """Add another instance's counters (worker-process deltas)."""
+        if isinstance(delta, CacheStats):
+            delta = delta.as_dict()
+        self.hits += delta.get("hits", 0)
+        self.misses += delta.get("misses", 0)
+        self.puts += delta.get("puts", 0)
+        self.discarded += delta.get("discarded", 0)
+
     @property
     def lookups(self) -> int:
         return self.hits + self.misses
@@ -146,6 +157,7 @@ class ResultCache:
             raw = path.read_text()
         except OSError:
             self.stats.misses += 1
+            count("cache.misses")
             return None
         try:
             doc = json.loads(raw)
@@ -158,12 +170,15 @@ class ResultCache:
         except (ValueError, KeyError, TypeError):
             self.stats.discarded += 1
             self.stats.misses += 1
+            count("cache.misses")
+            count("cache.corrupt_discarded")
             try:
                 path.unlink()
             except OSError:
                 pass
             return None
         self.stats.hits += 1
+        count("cache.hits")
         return payload
 
     def put(self, key: str, payload: dict) -> None:
@@ -188,6 +203,7 @@ class ResultCache:
                 pass
             raise
         self.stats.puts += 1
+        count("cache.puts")
 
     def get_or_compute(self, key: str, fn) -> dict:
         """Cached payload for ``key``, computing and storing it on a miss."""
@@ -225,6 +241,7 @@ class NullCache:
 
     def get(self, key: str) -> dict | None:
         self.stats.misses += 1
+        count("cache.misses")
         return None
 
     def put(self, key: str, payload: dict) -> None:

@@ -14,6 +14,15 @@ sweep shares:
   instruction counts are accumulated in :class:`EngineStats` and rendered
   by :meth:`ExperimentEngine.stats_summary` (the ``--stats`` CLI flag).
 
+In parallel mode the *workers* perform the cache lookups and stores
+(:func:`_pool_worker`), which parallelizes the disk I/O and keeps payload
+bytes out of the parent except once per result.  Worker-process
+:class:`~repro.runner.cache.CacheStats` would otherwise die with the
+worker, so every result travels in an envelope carrying the worker's
+hit/miss deltas — and, when observability is on, its serialized spans and
+metric deltas — which the parent merges; ``--stats`` therefore reports
+fleet-wide numbers identical to a serial run's.
+
 Worker functions must be importable (module-level) and take a single JSON
 dict — the pickling contract of ``multiprocessing``.  The engine never
 caches in-band failures (``payload["ok"] is False``), so a crashed cell is
@@ -28,10 +37,55 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from .. import observability
+from ..observability import span
 from .cache import NullCache, ResultCache, cache_key
 from .jobs import Job, JobResult, execute_job
 
 __all__ = ["EngineStats", "ExperimentEngine", "default_engine"]
+
+
+def _pool_worker(task: tuple) -> dict:
+    """Process-pool entry point: cached execution of one unit of work.
+
+    ``task`` is ``(fn, params, key, cache_root, obs_on)``.  The worker
+    owns the cache lookup/store for its unit and returns an envelope::
+
+        {"payload", "cached", "wall", "cache_stats", "obs"?}
+
+    ``cache_stats`` holds this call's hit/miss/put deltas (a fresh
+    per-call :class:`ResultCache` starts at zero, so its stats *are* the
+    delta); ``obs`` carries serialized spans and metric deltas when the
+    parent had observability enabled.
+    """
+    fn, params, key, cache_root, obs_on = task
+    if obs_on:
+        # A forked worker inherits the parent's collectors wholesale —
+        # including the parent's still-open batch span and every metric
+        # recorded before the fork.  Start from fresh collectors so the
+        # exported state is exactly this call's delta.
+        observability.OBS.reset()
+        observability.enable()
+    cache = ResultCache(cache_root) if cache_root is not None else NullCache()
+    payload = cache.get(key)
+    if payload is not None:
+        envelope = {"payload": payload, "cached": True, "wall": 0.0}
+    else:
+        start = time.perf_counter()
+        payload = fn(params)
+        wall = time.perf_counter() - start
+        t = payload.pop("compute_time", None)
+        if payload.get("ok", True):
+            cache.put(key, payload)
+        envelope = {
+            "payload": payload,
+            "cached": False,
+            "wall": t if t is not None else wall,
+        }
+    envelope["cache_stats"] = cache.stats.as_dict()
+    if obs_on:
+        envelope["obs"] = observability.export_state(reset=True)
+    return envelope
 
 
 @dataclass
@@ -116,44 +170,61 @@ class ExperimentEngine:
         """:meth:`map_cached` returning ``(payload, cached, wall_time)``."""
         labels = labels or [f"{kind}#{i}" for i in range(len(params_list))]
         keys = [cache_key(kind, p) for p in params_list]
-        out: list[tuple[dict, bool, float] | None] = []
-        for i, key in enumerate(keys):
+        with span("engine.map", kind=kind, calls=len(params_list)) as sp:
+            if self.jobs > 1 and len(params_list) > 1:
+                out = self._map_parallel(fn, params_list, keys, labels)
+            else:
+                out = self._map_serial(fn, params_list, keys, labels)
+            sp.set(computed=sum(1 for _, cached, _ in out if not cached))
+        return out
+
+    def _map_serial(
+        self, fn, params_list: list[dict], keys: list[str], labels: list[str]
+    ) -> list[tuple[dict, bool, float]]:
+        """Inline execution: the parent owns cache lookups and stores."""
+        out: list[tuple[dict, bool, float]] = []
+        for params, key, label in zip(params_list, keys, labels):
             payload = self.cache.get(key)
             if payload is not None:
-                self.stats.record(labels[i], payload, 0.0, cached=True)
+                self.stats.record(label, payload, 0.0, cached=True)
                 out.append((payload, True, 0.0))
-            else:
-                out.append(None)
+                continue
+            start = time.perf_counter()
+            payload = fn(params)
+            wall = time.perf_counter() - start
+            t = payload.pop("compute_time", None)
+            wall = t if t is not None else wall
+            if payload.get("ok", True):
+                self.cache.put(key, payload)
+            self.stats.record(label, payload, wall, cached=False)
+            out.append((payload, False, wall))
+        return out
 
-        misses = [i for i, entry in enumerate(out) if entry is None]
-        if misses:
-            results = self._execute(fn, [params_list[i] for i in misses])
-            for i, (payload, wall) in zip(misses, results):
-                t = payload.pop("compute_time", None)
-                wall = t if t is not None else wall
-                if payload.get("ok", True):
-                    self.cache.put(keys[i], payload)
-                out[i] = (payload, False, wall)
-                self.stats.record(labels[i], payload, wall, cached=False)
-        return out  # type: ignore[return-value]
-
-    def _execute(self, fn, params_list: list[dict]) -> list[tuple[dict, float]]:
-        """Run ``fn`` over every params dict, preserving order."""
-        if self.jobs <= 1 or len(params_list) <= 1:
-            out = []
-            for params in params_list:
-                start = time.perf_counter()
-                payload = fn(params)
-                out.append((payload, time.perf_counter() - start))
-            return out
-        start = time.perf_counter()
-        workers = min(self.jobs, len(params_list))
+    def _map_parallel(
+        self, fn, params_list: list[dict], keys: list[str], labels: list[str]
+    ) -> list[tuple[dict, bool, float]]:
+        """Pool execution: workers own cache I/O and ship deltas home."""
+        root = getattr(self.cache, "root", None)
+        cache_root = str(root) if root is not None else None
+        obs_on = observability.OBS.enabled
+        tasks = [
+            (fn, params, key, cache_root, obs_on)
+            for params, key in zip(params_list, keys)
+        ]
+        workers = min(self.jobs, len(tasks))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            payloads = list(pool.map(fn, params_list))
-        elapsed = time.perf_counter() - start
-        # Fallback share if a worker did not self-report compute_time.
-        share = elapsed / len(params_list)
-        return [(p, share) for p in payloads]
+            envelopes = list(pool.map(_pool_worker, tasks))
+        out: list[tuple[dict, bool, float]] = []
+        for label, envelope in zip(labels, envelopes):
+            # Fleet-wide accounting: merge the worker's per-call deltas.
+            self.cache.stats.merge(envelope["cache_stats"])
+            observability.absorb_state(envelope.get("obs"))
+            payload = envelope["payload"]
+            cached = envelope["cached"]
+            wall = envelope["wall"]
+            self.stats.record(label, payload, wall, cached=cached)
+            out.append((payload, cached, wall))
+        return out
 
     def call_cached(self, kind: str, fn, params: dict, label: str | None = None) -> dict:
         """Single-call convenience wrapper around :meth:`map_cached`."""
@@ -193,6 +264,28 @@ class ExperimentEngine:
             slowest = max(s.job_times, key=lambda kv: kv[1])
             lines.append(f"slowest     : {slowest[0]} ({slowest[1]:.3f}s)")
         return "\n".join(lines)
+
+    def publish_metrics(self) -> None:
+        """Mirror engine and cache totals into the global metrics registry.
+
+        Idempotent (gauges, not counters) — safe to call once per report.
+        The live ``cache.*`` counters accrue separately inside the cache
+        hooks; these gauges carry the derived, fleet-wide aggregates that
+        the ``--metrics-out`` JSON export promises (notably the hit rate).
+        """
+        m = observability.OBS.metrics
+        c = self.cache.stats
+        s = self.stats
+        m.gauge("cache.hit_rate", "percent of lookups served from cache").set(
+            100.0 * c.hit_rate
+        )
+        m.gauge("cache.lookups", "fleet-wide cache lookups").set(c.lookups)
+        m.gauge("engine.calls", "units of work requested").set(s.calls)
+        m.gauge("engine.computed", "cache misses executed").set(s.computed)
+        m.gauge("engine.errors", "in-band failures").set(s.errors)
+        m.gauge("engine.wall_time_seconds", "total compute wall time").set(
+            s.wall_time
+        )
 
 
 def default_engine(

@@ -31,6 +31,7 @@ from ..core.verify import assert_equivalent
 from ..graph.dfg import DFG, DFGError
 from ..graph.serialize import from_json, to_json
 from ..machine.vm import run_program
+from ..observability import span
 from ..retiming.optimal import minimize_cycle_period
 from ..unfolding.orders import retime_unfold, unfold_retime
 from ..workloads.registry import get_workload
@@ -212,6 +213,13 @@ def execute_job(params: dict) -> dict:
     transform = params["transform"]
     f = params["factor"]
     n = params["trip_count"]
+    with span("job.execute", transform=transform, factor=f, n=n):
+        payload = _execute_job_payload(params, transform, f, n)
+    payload["compute_time"] = time.perf_counter() - start
+    return payload
+
+
+def _execute_job_payload(params: dict, transform: str, f: int, n: int) -> dict:
     try:
         g = from_json(params["graph"])
         if transform == "orders":
@@ -240,7 +248,6 @@ def execute_job(params: dict) -> dict:
             "error": str(exc),
             "error_type": type(exc).__name__,
         }
-    payload["compute_time"] = time.perf_counter() - start
     return payload
 
 

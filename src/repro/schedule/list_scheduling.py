@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from ..graph.dfg import DFG
 from ..graph.validate import topological_order
+from ..observability import OBS
 from .legality import check_schedule
 from .resources import ResourceModel
 from .static_schedule import StaticSchedule
@@ -90,4 +91,12 @@ def list_schedule(g: DFG, resources: ResourceModel | None = None) -> StaticSched
 
     sched = StaticSchedule(graph=g, start=start)
     check_schedule(sched, resources)
+    if OBS.enabled:
+        m = OBS.metrics
+        m.counter("schedule.slots_filled", "nodes placed by list scheduling").inc(
+            len(start)
+        )
+        m.histogram("schedule.length", "control steps per schedule").observe(
+            sched.length
+        )
     return sched

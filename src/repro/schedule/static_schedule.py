@@ -42,8 +42,10 @@ class StaticSchedule:
 
     @property
     def length(self) -> int:
-        """Completion step of the latest node (the schedule length)."""
-        return max(self.start[v.name] + v.time for v in self.graph.nodes())
+        """Completion step of the latest node (0 for an empty schedule)."""
+        return max(
+            (self.start[v.name] + v.time for v in self.graph.nodes()), default=0
+        )
 
     def finish(self, node: str) -> int:
         """Completion step of ``node``."""

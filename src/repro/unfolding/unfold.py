@@ -22,6 +22,7 @@ multiplies the iteration bound by ``f`` (so the bound on the iteration
 from __future__ import annotations
 
 from ..graph.dfg import DFG, DFGError
+from ..observability import OBS, span
 
 __all__ = ["unfold", "copy_name", "parse_copy_name", "unfolded_edge_delay"]
 
@@ -58,16 +59,25 @@ def unfold(g: DFG, f: int, name: str | None = None) -> DFG:
     """
     if f < 1:
         raise DFGError(f"unfolding factor must be >= 1, got {f}")
-    gf = DFG(name if name is not None else f"{g.name}_x{f}")
-    for node in g.nodes():
-        for j in range(f):
-            gf.add_node(copy_name(node.name, j), time=node.time, op=node.op, imm=node.imm)
-    for e in g.edges():
-        for j in range(f):
-            src_copy = (j - e.delay) % f
-            gf.add_edge(
-                copy_name(e.src, src_copy),
-                copy_name(e.dst, j),
-                delay=unfolded_edge_delay(e.delay, j, f),
-            )
+    with span("unfold", graph=g.name, factor=f):
+        gf = DFG(name if name is not None else f"{g.name}_x{f}")
+        for node in g.nodes():
+            for j in range(f):
+                gf.add_node(
+                    copy_name(node.name, j), time=node.time, op=node.op, imm=node.imm
+                )
+        for e in g.edges():
+            for j in range(f):
+                src_copy = (j - e.delay) % f
+                gf.add_edge(
+                    copy_name(e.src, src_copy),
+                    copy_name(e.dst, j),
+                    delay=unfolded_edge_delay(e.delay, j, f),
+                )
+    if OBS.enabled:
+        m = OBS.metrics
+        m.counter("unfold.calls", "unfolding transformations applied").inc()
+        m.counter("unfold.copies", "node copies created by unfolding").inc(
+            g.num_nodes * f
+        )
     return gf

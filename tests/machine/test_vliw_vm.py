@@ -108,3 +108,82 @@ class TestCycleCounts:
         p = pipelined_loop(fig2, r)
         with pytest.raises(MachineError):
             run_packed(p, 1, MACHINES[1])
+
+
+class TestErrorPaths:
+    """The packed executor's own error detection, exercised directly."""
+
+    @staticmethod
+    def _program(body, name="bad", pre=(), post=(), meta=None):
+        from repro.codegen.ir import IndexExpr, Loop, LoopProgram
+
+        return LoopProgram(
+            name=name,
+            pre=tuple(pre),
+            loop=Loop(
+                start=IndexExpr.const(1),
+                end=IndexExpr.trip(0),
+                step=1,
+                body=tuple(body),
+            ),
+            post=tuple(post),
+            meta=meta or {},
+        )
+
+    @staticmethod
+    def _compute(dest_offset=0, name="A", src=None):
+        from repro.codegen.ir import ComputeInstr, IndexExpr, Operand
+        from repro.graph import OpKind
+
+        srcs = (Operand(src, IndexExpr.loop(-1)),) if src else ()
+        return ComputeInstr(
+            dest=Operand(name, IndexExpr.loop(dest_offset)),
+            op=OpKind.ADD,
+            imm=1,
+            srcs=srcs,
+            node=name,
+        )
+
+    def test_write_outside_range_raises(self):
+        from repro.machine import MachineError
+
+        p = self._program([self._compute(dest_offset=5)])
+        with pytest.raises(MachineError, match="outside"):
+            run_packed(p, 3, MACHINES[0])
+
+    def test_double_write_raises(self):
+        from repro.machine import MachineError
+
+        # Two unguarded computes of the same instance in one iteration.
+        p = self._program([self._compute(), self._compute()])
+        with pytest.raises(MachineError, match="computed twice"):
+            run_packed(p, 2, MACHINES[1], control_slots=2)
+
+    def test_min_n_contract_raises(self):
+        from repro.machine import MachineError
+
+        p = self._program([self._compute()], meta={"min_n": 5})
+        with pytest.raises(MachineError, match="below the program's minimum"):
+            run_packed(p, 3, MACHINES[0])
+
+    def test_residue_contract_raises(self):
+        from repro.machine import MachineError
+
+        p = self._program([self._compute()], meta={"factor": 2, "residue": 1})
+        with pytest.raises(MachineError, match="residue"):
+            run_packed(p, 4, MACHINES[0])
+
+    def test_zero_trip_count_executes_nothing(self):
+        p = self._program([self._compute(src="A")])
+        got = run_packed(p, 0, MACHINES[0])
+        assert got.arrays == {} and got.executed == 0
+        assert got.cycles == 0
+
+    @pytest.mark.parametrize("n", [0, 1, 2])
+    def test_csr_below_m_r_matches_sequential(self, fig8, n):
+        """CSR programs run at trip counts below M_r: guards disable the
+        out-of-range copies and packed execution still matches the VM."""
+        _, r = minimize_cycle_period(fig8)
+        assert n < r.max_value  # genuinely below M_r
+        p = csr_pipelined_loop(fig8, r)
+        _assert_packed_matches(fig8, p, MACHINES[1], n=n)

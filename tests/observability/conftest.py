@@ -1,0 +1,26 @@
+"""Fixtures isolating the process-global observability state per test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import observability
+
+
+@pytest.fixture
+def obs():
+    """Fresh, *enabled* observability state, restored to off afterwards."""
+    observability.OBS.reset()
+    observability.enable()
+    yield observability.OBS
+    observability.disable()
+    observability.OBS.reset()
+
+
+@pytest.fixture
+def obs_off():
+    """Fresh, *disabled* observability state (the production default)."""
+    observability.OBS.reset()
+    observability.disable()
+    yield observability.OBS
+    observability.OBS.reset()

@@ -1,0 +1,127 @@
+"""Metrics registry: instruments, exporters, and merge semantics."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.observability import MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        m = MetricsRegistry()
+        m.counter("c").inc()
+        m.counter("c").inc(4)
+        assert m.as_dict()["counters"]["c"] == 5
+
+    def test_counter_rejects_negative(self):
+        m = MetricsRegistry()
+        with pytest.raises(ValueError, match="negative"):
+            m.counter("c").inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        m = MetricsRegistry()
+        m.gauge("g").set(2.5)
+        m.gauge("g").set(1.0)
+        assert m.as_dict()["gauges"]["g"] == 1.0
+
+    def test_histogram_buckets_and_summary(self):
+        m = MetricsRegistry()
+        h = m.histogram("h", bounds=(1, 10, 100))
+        for v in (0, 1, 5, 50, 500):
+            h.observe(v)
+        doc = h.as_dict()
+        # <=1: {0, 1}; <=10: {5}; <=100: {50}; +Inf: {500}
+        assert doc["buckets"] == [2, 1, 1, 1]
+        assert doc["count"] == 5
+        assert doc["sum"] == 556
+        assert doc["min"] == 0 and doc["max"] == 500
+
+    def test_histogram_requires_sorted_bounds(self):
+        m = MetricsRegistry()
+        with pytest.raises(ValueError, match="sorted"):
+            m.histogram("h", bounds=(10, 1))
+
+    def test_get_or_create_returns_same_instrument(self):
+        m = MetricsRegistry()
+        assert m.counter("c") is m.counter("c")
+        assert m.gauge("g") is m.gauge("g")
+        assert m.histogram("h") is m.histogram("h")
+
+
+class TestExporters:
+    def _registry(self) -> MetricsRegistry:
+        m = MetricsRegistry()
+        m.counter("vm.instructions.executed", "computes run").inc(42)
+        m.gauge("cache.hit_rate", "percent").set(100.0)
+        h = m.histogram("job.wall", bounds=(1, 10))
+        h.observe(0.5)
+        h.observe(20)
+        return m
+
+    def test_json_export_is_valid_and_complete(self):
+        doc = json.loads(self._registry().to_json())
+        assert doc["counters"]["vm.instructions.executed"] == 42
+        assert doc["gauges"]["cache.hit_rate"] == 100.0
+        assert doc["histograms"]["job.wall"]["count"] == 2
+
+    def test_prometheus_text_format(self):
+        text = self._registry().to_prometheus()
+        assert "# TYPE vm_instructions_executed counter" in text
+        assert "vm_instructions_executed 42" in text
+        assert "# TYPE cache_hit_rate gauge" in text
+        assert "cache_hit_rate 100.0" in text
+        assert "# HELP vm_instructions_executed computes run" in text
+        # Histogram: cumulative buckets, +Inf, sum, count.
+        assert 'job_wall_bucket{le="1"} 1' in text
+        assert 'job_wall_bucket{le="10"} 1' in text
+        assert 'job_wall_bucket{le="+Inf"} 2' in text
+        assert "job_wall_sum 20.5" in text
+        assert "job_wall_count 2" in text
+
+    def test_prometheus_empty_registry(self):
+        assert MetricsRegistry().to_prometheus() == ""
+
+
+class TestMerge:
+    def test_merge_adds_counters_pointwise(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(3)
+        b.counter("c").inc(4)
+        b.counter("d").inc(1)
+        a.merge(b.as_dict())
+        assert a.as_dict()["counters"] == {"c": 7, "d": 1}
+
+    def test_merge_histograms_bucketwise(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for v in (1, 5):
+            a.histogram("h", bounds=(2, 8)).observe(v)
+        for v in (3, 100):
+            b.histogram("h", bounds=(2, 8)).observe(v)
+        a.merge(b.as_dict())
+        doc = a.histogram("h").as_dict()
+        assert doc["count"] == 4
+        assert doc["buckets"] == [1, 2, 1]
+        assert doc["min"] == 1 and doc["max"] == 100
+
+    def test_merge_rejects_mismatched_bounds(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", bounds=(1, 2)).observe(1)
+        b.histogram("h", bounds=(3, 4)).observe(1)
+        with pytest.raises(ValueError, match="mismatched"):
+            a.merge(b.as_dict())
+
+    def test_merge_gauge_takes_incoming(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("g").set(1.0)
+        b.gauge("g").set(9.0)
+        a.merge(b.as_dict())
+        assert a.as_dict()["gauges"]["g"] == 9.0
+
+    def test_reset(self):
+        m = MetricsRegistry()
+        m.counter("c").inc()
+        m.reset()
+        assert len(m) == 0

@@ -1,0 +1,89 @@
+"""Overhead regression: disabled hooks must not slow the VM hot path.
+
+Wall-clock assertions are flaky, so the budget is counted, not timed: with
+observability *off*, one ``run_program`` call may perform at most
+``CALLS_PER_INSTR`` Python-level calls per instruction dispatched (plus a
+per-run constant).  A hook accidentally placed inside the per-instruction
+loop — a span per instruction, an unguarded counter lookup — blows the
+budget immediately, because every ``with span(...)`` costs several calls
+and the measured baseline is ~17 calls/instruction with ~75% headroom.
+
+The workload itself is pinned too (figure8, CSR-pipelined, n=50 →
+exactly 250 executed + 15 disabled), so the budget cannot drift by the
+workload quietly shrinking.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core import csr_pipelined_loop
+from repro.machine.vm import run_program
+from repro.retiming import minimize_cycle_period
+from repro.workloads import get_workload
+
+#: Ceiling on Python calls per executed/disabled instruction with
+#: observability off.  Measured baseline: ~17 (CPython 3.11).
+CALLS_PER_INSTR = 30
+
+#: Per-run constant: interpreter startup of the call, guard checks, the
+#: single disabled-span call, result construction.
+CALLS_FIXED = 400
+
+N = 50
+PINNED_EXECUTED = 250
+PINNED_DISABLED = 15
+
+
+def _count_calls(fn):
+    counts = {"calls": 0}
+
+    def prof(frame, event, arg):
+        if event in ("call", "c_call"):
+            counts["calls"] += 1
+
+    sys.setprofile(prof)
+    try:
+        result = fn()
+    finally:
+        sys.setprofile(None)
+    return result, counts["calls"]
+
+
+def test_vm_call_budget_with_observability_disabled(obs_off):
+    g = get_workload("figure8")
+    _, r = minimize_cycle_period(g)
+    program = csr_pipelined_loop(g, r)
+
+    run_program(program, N)  # warm lazy imports outside the measurement
+    result, calls = _count_calls(lambda: run_program(program, N))
+
+    # The workload is pinned: the budget is meaningless if this drifts.
+    assert result.executed == PINNED_EXECUTED
+    assert result.disabled == PINNED_DISABLED
+
+    instructions = result.executed + result.disabled
+    budget = CALLS_PER_INSTR * instructions + CALLS_FIXED
+    assert calls <= budget, (
+        f"VM made {calls} Python calls for {instructions} instructions "
+        f"(budget {budget}); an observability hook is likely running "
+        f"inside the per-instruction loop"
+    )
+
+
+def test_disabled_run_records_nothing(obs_off):
+    g = get_workload("figure8")
+    _, r = minimize_cycle_period(g)
+    run_program(csr_pipelined_loop(g, r), N)
+    assert obs_off.tracer.roots == []
+    assert len(obs_off.metrics) == 0
+
+
+def test_enabled_run_counts_pinned_instructions(obs):
+    g = get_workload("figure8")
+    _, r = minimize_cycle_period(g)
+    run_program(csr_pipelined_loop(g, r), N)
+    counters = obs.metrics.as_dict()["counters"]
+    assert counters["vm.instructions.executed"] == PINNED_EXECUTED
+    assert counters["vm.instructions.disabled"] == PINNED_DISABLED
+    assert any(s.name == "vm.run" for s in obs.tracer.roots)

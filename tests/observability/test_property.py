@@ -1,0 +1,160 @@
+"""Seeded property tests for the observability layer itself.
+
+Two laws the rest of the system depends on:
+
+* the Chrome trace-event exporter is invertible — any nested span tree
+  survives a round trip through ``chrome_trace_events`` unchanged in
+  names, nesting, attributes and durations;
+* metric aggregation is partition-invariant — counters and histograms
+  sharded across N simulated worker processes and merged equal the
+  registry a serial run would have produced.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.observability import (
+    MetricsRegistry,
+    Span,
+    chrome_trace_events,
+    spans_from_chrome_events,
+)
+
+SEEDS = range(40)
+
+
+# ----------------------------------------------------------------------
+# Span-tree round trip
+# ----------------------------------------------------------------------
+
+
+def _random_tree(rng: random.Random, lo: int, hi: int, depth: int) -> Span:
+    """A random span strictly inside ``[lo, hi]`` ns with nested children.
+
+    Children occupy disjoint, strictly interior subintervals, so time
+    containment (what the importer reconstructs nesting from) is
+    unambiguous by construction.
+    """
+    span = Span(
+        name=f"s{rng.randrange(1000)}",
+        start_ns=lo,
+        duration_ns=hi - lo,
+        attributes={"k": rng.randrange(100)} if rng.random() < 0.5 else {},
+        pid=rng.choice([1, 2, 3]),
+    )
+    if depth > 0 and hi - lo >= 8000:
+        cuts = sorted(
+            rng.sample(range(lo + 1000, hi - 1000, 1000), rng.randrange(0, 4))
+        )
+        bounds = [lo + 1000] + cuts + [hi - 1000]
+        for a, b in zip(bounds[:-1], bounds[1:]):
+            if b - a >= 2000 and rng.random() < 0.8:
+                span.children.append(
+                    _random_tree(rng, a + 500, b - 500, depth - 1)
+                )
+    return span
+
+
+def _normalize(span: Span, epoch: int) -> tuple:
+    """Structure fingerprint: name, relative timing, attrs, children."""
+    return (
+        span.name,
+        span.start_ns - epoch,
+        span.duration_ns,
+        tuple(sorted(span.attributes.items())),
+        tuple(_normalize(c, epoch) for c in span.children),
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_span_tree_round_trips_through_chrome_export(seed):
+    rng = random.Random(seed)
+    # Children inherit the root's pid: the importer reconstructs nesting
+    # per pid lane, so a tree spanning lanes is (correctly) split.
+    roots = []
+    for _ in range(rng.randint(1, 3)):
+        base = rng.randrange(0, 10**9, 1000)
+        root = _random_tree(rng, base, base + rng.randrange(10**5, 10**6, 1000), 3)
+        for s in root.walk():
+            s.pid = root.pid
+        roots.append(root)
+
+    events = chrome_trace_events(roots)
+    rebuilt = spans_from_chrome_events(events)
+
+    epoch = min(s.start_ns for r in roots for s in r.walk())
+    want = sorted(_normalize(r, epoch) for r in roots)
+    got = sorted(_normalize(r, 0) for r in rebuilt)
+    assert got == want
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_round_trip_preserves_span_count(seed):
+    rng = random.Random(seed + 10_000)
+    root = _random_tree(rng, 0, 10**6, 4)
+    for s in root.walk():
+        s.pid = 1
+    events = chrome_trace_events([root])
+    rebuilt = spans_from_chrome_events(events)
+    assert sum(1 for r in rebuilt for _ in r.walk()) == len(events)
+
+
+# ----------------------------------------------------------------------
+# Cross-process metric aggregation
+# ----------------------------------------------------------------------
+
+_COUNTERS = ["vm.executed", "cache.hits", "retiming.iterations"]
+_BOUNDS = (1, 10, 100, 1000)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_merged_worker_counters_equal_serial_totals(seed):
+    rng = random.Random(seed)
+    num_workers = rng.randint(1, 6)
+
+    serial = MetricsRegistry()
+    parent = MetricsRegistry()
+    for _ in range(num_workers):
+        # Each simulated worker records into its own fresh registry …
+        worker = MetricsRegistry()
+        for _ in range(rng.randrange(20)):
+            name = rng.choice(_COUNTERS)
+            n = rng.randrange(1, 50)
+            worker.counter(name).inc(n)
+            serial.counter(name).inc(n)
+        for _ in range(rng.randrange(20)):
+            v = rng.randrange(0, 2000)
+            worker.histogram("wall", bounds=_BOUNDS).observe(v)
+            serial.histogram("wall", bounds=_BOUNDS).observe(v)
+        # … and ships its JSON snapshot home, like an engine worker does.
+        parent.merge(worker.as_dict())
+
+    assert parent.as_dict() == serial.as_dict()
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_merge_is_associative_across_partitions(seed):
+    """Merging (A then B) equals merging (B then A) for counters/histograms."""
+    rng = random.Random(seed)
+    observations = [
+        (rng.choice(_COUNTERS), rng.randrange(1, 30)) for _ in range(30)
+    ]
+    cut = rng.randrange(len(observations))
+
+    def registry_of(obs_slice):
+        m = MetricsRegistry()
+        for name, n in obs_slice:
+            m.counter(name).inc(n)
+        return m
+
+    ab = MetricsRegistry()
+    ab.merge(registry_of(observations[:cut]).as_dict())
+    ab.merge(registry_of(observations[cut:]).as_dict())
+    ba = MetricsRegistry()
+    ba.merge(registry_of(observations[cut:]).as_dict())
+    ba.merge(registry_of(observations[:cut]).as_dict())
+    assert ab.as_dict()["counters"] == ba.as_dict()["counters"]
+    assert ab.as_dict() == registry_of(observations).as_dict()

@@ -1,0 +1,194 @@
+"""Tracer behavior: nesting, timing, transport, and the Chrome exporter."""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro import observability
+from repro.observability import (
+    Span,
+    Tracer,
+    aggregate_spans,
+    chrome_trace_events,
+    format_breakdown,
+    spans_from_chrome_events,
+    write_chrome_trace,
+)
+
+
+class TestTracer:
+    def test_spans_nest_by_entry_order(self):
+        t = Tracer()
+        with t.span("outer"):
+            with t.span("inner"):
+                with t.span("leaf"):
+                    pass
+            with t.span("sibling"):
+                pass
+        assert len(t.roots) == 1
+        outer = t.roots[0]
+        assert [c.name for c in outer.children] == ["inner", "sibling"]
+        assert [c.name for c in outer.children[0].children] == ["leaf"]
+
+    def test_timings_are_positive_and_contained(self):
+        t = Tracer()
+        with t.span("outer"):
+            with t.span("inner"):
+                time.sleep(0.002)
+        outer, inner = t.roots[0], t.roots[0].children[0]
+        assert inner.duration_ns > 0
+        assert outer.start_ns <= inner.start_ns
+        assert inner.end_ns <= outer.end_ns
+
+    def test_attributes_at_entry_and_via_set(self):
+        t = Tracer()
+        with t.span("op", graph="iir") as sp:
+            sp.set(period=3)
+        assert t.roots[0].attributes == {"graph": "iir", "period": 3}
+
+    def test_sequential_roots(self):
+        t = Tracer()
+        with t.span("a"):
+            pass
+        with t.span("b"):
+            pass
+        assert [s.name for s in t.roots] == ["a", "b"]
+
+    def test_span_closed_on_exception(self):
+        t = Tracer()
+        try:
+            with t.span("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert [s.name for s in t.roots] == ["boom"]
+        assert t.current() is None
+
+    def test_absorb_attaches_under_open_span(self):
+        t = Tracer()
+        foreign = Span(name="worker.job", start_ns=5, duration_ns=10, pid=4242)
+        with t.span("engine.map"):
+            t.absorb([foreign.to_dict()])
+        batch = t.roots[0]
+        assert [c.name for c in batch.children] == ["worker.job"]
+        assert batch.children[0].pid == 4242
+
+    def test_absorb_without_open_span_becomes_root(self):
+        t = Tracer()
+        t.absorb([Span(name="orphan", start_ns=1, duration_ns=2).to_dict()])
+        assert [s.name for s in t.roots] == ["orphan"]
+
+    def test_export_round_trips_dicts(self):
+        t = Tracer()
+        with t.span("a", k=1):
+            with t.span("b"):
+                pass
+        docs = t.export()
+        rebuilt = [Span.from_dict(d) for d in docs]
+        assert rebuilt[0].name == "a"
+        assert rebuilt[0].attributes == {"k": 1}
+        assert rebuilt[0].children[0].name == "b"
+
+
+class TestGlobalSwitch:
+    def test_disabled_span_is_shared_noop(self, obs_off):
+        cm1 = observability.span("x", a=1)
+        cm2 = observability.span("y")
+        assert cm1 is cm2  # the NULL_SPAN singleton
+        with cm1 as sp:
+            sp.set(anything=True)  # no-op, no error
+        assert observability.OBS.tracer.roots == []
+
+    def test_enabled_span_records(self, obs):
+        with observability.span("x"):
+            pass
+        assert [s.name for s in obs.tracer.roots] == ["x"]
+
+    def test_count_guarded(self, obs_off):
+        observability.count("c", 5)
+        assert len(observability.OBS.metrics) == 0
+
+    def test_export_state_resets(self, obs):
+        with observability.span("x"):
+            observability.count("c", 2)
+        state = observability.export_state()
+        assert [s["name"] for s in state["spans"]] == ["x"]
+        assert state["metrics"]["counters"] == {"c": 2}
+        assert obs.tracer.roots == []
+        assert len(obs.metrics) == 0
+
+    def test_absorb_state_merges(self, obs):
+        observability.count("c", 1)
+        observability.absorb_state(
+            {"spans": [], "metrics": {"counters": {"c": 3, "d": 4}}}
+        )
+        counters = obs.metrics.as_dict()["counters"]
+        assert counters == {"c": 4, "d": 4}
+
+
+class TestChromeExport:
+    def _tree(self) -> list[Span]:
+        t = Tracer()
+        with t.span("root", phase="x"):
+            with t.span("child1"):
+                with t.span("leaf"):
+                    pass
+            with t.span("child2"):
+                pass
+        return t.roots
+
+    def test_events_are_complete_events(self):
+        events = chrome_trace_events(self._tree())
+        assert len(events) == 4
+        assert all(e["ph"] == "X" for e in events)
+        assert events[0]["name"] == "root"
+        assert events[0]["args"] == {"phase": "x"}
+        for e in events:
+            assert e["dur"] >= 0 and e["ts"] >= 0
+        # Timestamps are rebased: the earliest event sits at ts == 0.
+        assert min(e["ts"] for e in events) == 0
+
+    def test_write_is_valid_json_with_trace_events_key(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(path, self._tree())
+        doc = json.loads(path.read_text())
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert len(doc["traceEvents"]) == 4
+
+    def test_import_rebuilds_nesting(self):
+        roots = self._tree()
+        rebuilt = spans_from_chrome_events(chrome_trace_events(roots))
+        assert len(rebuilt) == 1
+        root = rebuilt[0]
+        assert root.name == "root"
+        assert [c.name for c in root.children] == ["child1", "child2"]
+        assert [c.name for c in root.children[0].children] == ["leaf"]
+
+    def test_import_separates_pid_lanes(self):
+        a = Span(name="a", start_ns=0, duration_ns=10_000, pid=1)
+        b = Span(name="b", start_ns=0, duration_ns=10_000, pid=2)
+        rebuilt = spans_from_chrome_events(chrome_trace_events([a, b]))
+        assert sorted(s.name for s in rebuilt) == ["a", "b"]
+        assert all(not s.children for s in rebuilt)
+
+
+class TestReporting:
+    def test_aggregate_counts_and_self_time(self):
+        root = Span(name="root", start_ns=0, duration_ns=10_000_000)
+        root.children = [
+            Span(name="leaf", start_ns=1, duration_ns=3_000_000),
+            Span(name="leaf", start_ns=2, duration_ns=4_000_000),
+        ]
+        agg = aggregate_spans([root])
+        assert agg["leaf"]["count"] == 2
+        assert agg["leaf"]["total_ns"] == 7_000_000
+        assert agg["root"]["self_ns"] == 3_000_000
+
+    def test_format_breakdown(self):
+        root = Span(name="root", start_ns=0, duration_ns=10_000_000)
+        out = format_breakdown([root])
+        assert "root" in out and "100.0%" in out
+
+    def test_format_breakdown_empty(self):
+        assert "no spans" in format_breakdown([])

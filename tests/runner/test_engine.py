@@ -117,3 +117,98 @@ class TestJobMatrix:
         results = engine.run_jobs(jobs)
         failed = [r.job.label for r in results if not r.ok]
         assert not failed, failed
+
+
+class TestCrossProcessStats:
+    """Workers own cache I/O in parallel mode; their stats deltas must
+    merge into the parent so ``--stats`` reports fleet-wide numbers."""
+
+    JOBS = [{"x": i} for i in range(6)]
+
+    def test_cold_parallel_run_pins_miss_and_put_totals(self, tmp_path):
+        engine = ExperimentEngine(jobs=2, cache=ResultCache(tmp_path))
+        engine.map_cached("square", _square, self.JOBS)
+        c = engine.cache.stats
+        assert c.as_dict() == {
+            "hits": 0,
+            "misses": len(self.JOBS),
+            "puts": len(self.JOBS),
+            "discarded": 0,
+        }
+
+    def test_warm_parallel_run_pins_aggregate_hits(self, tmp_path):
+        ExperimentEngine(jobs=2, cache=ResultCache(tmp_path)).map_cached(
+            "square", _square, self.JOBS
+        )
+        warm = ExperimentEngine(jobs=2, cache=ResultCache(tmp_path))
+        out = warm.map_cached("square", _square, self.JOBS)
+        assert [p["y"] for p in out] == [i**2 for i in range(6)]
+        c = warm.cache.stats
+        # The pinned fleet-wide aggregate: every lookup happened in some
+        # worker process, yet the parent reports them all.
+        assert c.hits == len(self.JOBS)
+        assert c.misses == 0
+        assert c.hit_rate == 1.0
+        assert warm.stats.computed == 0
+
+    def test_parallel_null_cache_counts_worker_misses(self):
+        engine = ExperimentEngine(jobs=2, cache=None)
+        engine.map_cached("square", _square, self.JOBS)
+        assert engine.cache.stats.misses == len(self.JOBS)
+        assert engine.cache.stats.puts == 0
+
+    def test_publish_metrics_exports_fleet_hit_rate(self, tmp_path):
+        from repro import observability
+
+        observability.OBS.reset()
+        try:
+            ExperimentEngine(jobs=2, cache=ResultCache(tmp_path)).map_cached(
+                "square", _square, self.JOBS
+            )
+            warm = ExperimentEngine(jobs=2, cache=ResultCache(tmp_path))
+            warm.map_cached("square", _square, self.JOBS)
+            warm.publish_metrics()
+            gauges = observability.OBS.metrics.as_dict()["gauges"]
+            assert gauges["cache.hit_rate"] == 100.0
+            assert gauges["cache.lookups"] == len(self.JOBS)
+            assert gauges["engine.computed"] == 0
+        finally:
+            observability.OBS.reset()
+
+    def test_worker_spans_and_counters_aggregate(self, tmp_path):
+        """With observability on, worker-process spans land under the
+        parent's engine.map span and worker counters merge into the
+        parent registry — equal to what a serial run records."""
+        from repro import observability
+        from repro.runner.jobs import Job
+
+        jobs = [
+            Job(transform="csr-pipelined", workload="iir", trip_count=n)
+            for n in (5, 6, 7, 8)
+        ]
+
+        def run(jobs_n, cache_dir):
+            observability.OBS.reset()
+            observability.enable()
+            try:
+                engine = ExperimentEngine(jobs=jobs_n, cache=ResultCache(cache_dir))
+                engine.run_jobs(jobs)
+                counters = observability.OBS.metrics.as_dict()["counters"]
+                roots = observability.OBS.tracer.roots
+                return counters, roots
+            finally:
+                observability.disable()
+                observability.OBS.reset()
+
+        parallel_counters, parallel_roots = run(2, tmp_path / "par")
+        serial_counters, _ = run(1, tmp_path / "ser")
+
+        # Worker job spans nest under the parent batch span, keeping
+        # their worker pids.
+        batch = next(r for r in parallel_roots if r.name == "engine.map")
+        names = {s.name for s in batch.walk()}
+        assert "job.execute" in names and "vm.run" in names
+        # Counter totals are partition-invariant (cache.puts included:
+        # both runs were cold).
+        assert parallel_counters == serial_counters
+        assert parallel_counters["vm.instructions.executed"] > 0

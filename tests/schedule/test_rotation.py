@@ -72,3 +72,60 @@ class TestRotation:
         check_schedule(res.schedule, model)
         # The schedule belongs to the retimed graph.
         assert set(res.schedule.start) == set(g.node_names())
+
+
+class TestEdgeCases:
+    """Degenerate inputs: empty graphs, single nodes, rotation-proof DFGs."""
+
+    def test_empty_graph_empty_schedule(self):
+        from repro.graph import DFG
+        from repro.schedule import StaticSchedule
+
+        g = DFG("empty")
+        res = rotation_schedule(g)
+        assert res.length == 0
+        assert res.rotations == 0
+        assert res.retiming.as_dict() == {}
+        # The empty schedule itself is well-defined.
+        empty = StaticSchedule(graph=g, start={})
+        assert empty.length == 0
+        assert empty.first_row() == frozenset()
+        assert empty.table() == []
+
+    def test_single_node_no_edges(self):
+        from repro.graph import DFG
+
+        g = DFG("one")
+        g.add_node("A", time=3)
+        res = rotation_schedule(g)
+        assert res.length == 3
+        assert res.initial_length == 3
+        assert res.retiming.is_legal()
+
+    def test_single_node_self_loop(self):
+        from repro.graph import DFG
+
+        g = DFG("self")
+        g.add_node("A", time=2)
+        g.add_edge("A", "A", 1)
+        res = rotation_schedule(g)
+        assert res.length == 2
+        check_schedule(res.schedule, ResourceModel.unconstrained())
+
+    def test_rotation_proof_graph_stops_early(self):
+        """A zero-delay external input into the whole first row makes every
+        rotation illegal: the search must stop, not loop to max_rotations."""
+        from repro.graph import DFG
+
+        g = DFG("chain")
+        g.add_node("A")
+        g.add_node("B")
+        g.add_edge("A", "B", 0)
+        g.add_edge("B", "A", 2)
+        res = rotation_schedule(g, max_rotations=50)
+        assert res.retiming.is_legal()
+        assert res.length <= cycle_period(g)
+
+    def test_max_rotations_none_default_bound(self, fig8):
+        res = rotation_schedule(fig8, max_rotations=None)
+        assert res.rotations <= 2 * fig8.num_nodes
