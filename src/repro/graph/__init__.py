@@ -12,8 +12,10 @@ from .dfg import DFG, DFGError, Edge, MODULUS, Node, OpKind, evaluate_op
 from .iteration_bound import (
     iteration_bound,
     iteration_bound_exhaustive,
+    iteration_bound_fraction,
     minimum_unfolding_for_rate_optimality,
 )
+from .kernel import EdgeKernel
 from .period import alap_times, asap_times, critical_path, cycle_period
 from .validate import is_valid, topological_order, validate
 from .serialize import from_json, to_dot, to_json
@@ -29,8 +31,10 @@ __all__ = [
     "OpKind",
     "evaluate_op",
     "MODULUS",
+    "EdgeKernel",
     "iteration_bound",
     "iteration_bound_exhaustive",
+    "iteration_bound_fraction",
     "minimum_unfolding_for_rate_optimality",
     "alap_times",
     "asap_times",

@@ -8,11 +8,17 @@ equals ``B(G)``; when ``B(G)`` is non-integral that can only be achieved by
 unfolding the loop by a factor ``f`` that makes ``f * B(G)`` integral
 (Section 4 of the paper).
 
-Two independent algorithms are provided:
+Three independent algorithms are provided:
 
-* :func:`iteration_bound` — Lawler-style parametric binary search with a
-  positive-cycle oracle, snapped to an exact rational with bounded
-  denominator and *verified* exactly; near-linear-in-practice and exact.
+* :func:`iteration_bound` — Lawler-style parametric binary search whose
+  positive-cycle oracle runs on *exact integer* edge weights
+  ``q * T(C) - p * D(C)`` for probe ``λ = p/q`` over the shared
+  :class:`~repro.graph.kernel.EdgeKernel` index-array adjacency; the result
+  is snapped to an exact rational with bounded denominator and *verified*
+  exactly.  This is the production hot path.
+* :func:`iteration_bound_fraction` — the original ``Fraction``-arithmetic
+  relaxation (edge preparation hoisted out of the search loop).  Kept as a
+  differential-testing reference and benchmark baseline.
 * :func:`iteration_bound_exhaustive` — direct enumeration of simple cycles
   via networkx; exponential in general, used as a cross-check in tests and
   as a fallback.
@@ -22,43 +28,56 @@ from __future__ import annotations
 
 from fractions import Fraction
 
+from ..observability import count
 from .dfg import DFG, DFGError
+from .kernel import EdgeKernel
 
 __all__ = [
     "iteration_bound",
+    "iteration_bound_fraction",
     "iteration_bound_exhaustive",
     "has_cycle_with_nonneg_weight",
     "minimum_unfolding_for_rate_optimality",
 ]
 
 
+# ----------------------------------------------------------------------
+# Fraction-arithmetic reference path
+# ----------------------------------------------------------------------
+
 def _edge_weights(g: DFG, lam: Fraction) -> list[tuple[str, str, Fraction]]:
     """Weighted edge list ``(u, v, t(u) - lam * d)`` for the cycle test.
 
     Assigning each edge the computation time of its *source* node makes the
     weight sum of any cycle equal ``T(C) - lam * D(C)``, since every node of
-    a cycle is the source of exactly one of its edges.
+    a cycle is the source of exactly one of its edges.  Node times are
+    looked up once into a dict (not per edge per probe via ``g.node``).
     """
+    times = {v.name: v.time for v in g.nodes()}
     return [
-        (e.src, e.dst, Fraction(g.node(e.src).time) - lam * e.delay)
-        for e in g.edges()
+        (e.src, e.dst, Fraction(times[e.src]) - lam * e.delay) for e in g.edges()
     ]
 
 
-def _has_positive_cycle(g: DFG, lam: Fraction, strict: bool) -> bool:
-    """Does a cycle with weight ``> 0`` (or ``>= 0`` if not strict) exist?
+def _prepare_edges(g: DFG) -> list[tuple[str, str, int, int]]:
+    """``(u, v, t(u), d)`` per edge — the λ-independent part of
+    :func:`_edge_weights`, hoisted out of the binary-search loop."""
+    times = {v.name: v.time for v in g.nodes()}
+    return [(e.src, e.dst, times[e.src], e.delay) for e in g.edges()]
 
-    Bellman–Ford longest-path relaxation from a virtual super-source (all
-    distances start at 0, so cycles anywhere in the graph are found).  A
-    cycle of weight exactly zero does not cause divergence under strict
-    inequality relaxation, so ``strict=True``/``False`` distinguish
-    ``T - lam D > 0`` from ``T - lam D >= 0``.
-    """
-    edges = _edge_weights(g, lam)
+
+def _relax_positive_cycle(
+    g: DFG,
+    prepared: list[tuple[str, str, int, int]],
+    lam: Fraction,
+    strict: bool,
+) -> bool:
+    """Fraction-arithmetic Bellman–Ford cycle test over prepared edges."""
+    edges = [(u, v, Fraction(t) - lam * d) for (u, v, t, d) in prepared]
     if not strict:
         # Detect weight >= 0 cycles by nudging every edge up by an epsilon
         # smaller than any achievable gap: with integral T and D and
-        # lam = p/q, cycle weights are multiples of 1/q, so eps = 1/(2q*|V|)
+        # lam = p/q, cycle weights are multiples of 1/q, so eps = 1/(2q*|E|)
         # per edge keeps total perturbation below 1/(2q) around zero.
         q = lam.denominator
         eps = Fraction(1, 2 * q * max(1, g.num_edges))
@@ -81,20 +100,21 @@ def _has_positive_cycle(g: DFG, lam: Fraction, strict: bool) -> bool:
     return False
 
 
-def has_cycle_with_nonneg_weight(g: DFG, lam: Fraction) -> bool:
-    """Whether some cycle satisfies ``T(C) - lam * D(C) >= 0``.
+def _has_positive_cycle(g: DFG, lam: Fraction, strict: bool) -> bool:
+    """Does a cycle with weight ``> 0`` (or ``>= 0`` if not strict) exist?
 
-    This is exactly the condition ``B(G) >= lam``.
+    Fraction-arithmetic reference implementation; the hot path uses the
+    integer oracle of :class:`~repro.graph.kernel.EdgeKernel` instead.
     """
-    return _has_positive_cycle(g, lam, strict=False)
+    return _relax_positive_cycle(g, _prepare_edges(g), lam, strict)
 
 
-def iteration_bound(g: DFG) -> Fraction:
-    """Exact iteration bound ``max_C T(C)/D(C)`` as a :class:`Fraction`.
+def iteration_bound_fraction(g: DFG) -> Fraction:
+    """The original ``Fraction``-relaxation iteration bound.
 
-    Returns ``Fraction(0)`` for acyclic graphs (no cycle constrains the
-    rate).  Raises :class:`DFGError` if the graph has a zero-delay cycle
-    (such graphs have no legal schedule at all).
+    Exact, like :func:`iteration_bound`, but performs rational arithmetic
+    inside the relaxation loops.  Retained as a differential-testing
+    reference and as the benchmark baseline for the integer oracle.
     """
     from .validate import validate
 
@@ -106,9 +126,11 @@ def iteration_bound(g: DFG) -> Fraction:
         # all the graph is acyclic.
         return Fraction(0)
 
+    prepared = _prepare_edges(g)
+
     # Quick acyclicity check: if no cycle at lam=0 exists (i.e. no cycle at
     # all, since weights are then all positive node times), bound is 0.
-    if not _has_positive_cycle(g, Fraction(0), strict=True):
+    if not _relax_positive_cycle(g, prepared, Fraction(0), strict=True):
         return Fraction(0)
 
     lo = Fraction(0)  # B > 0 here: some cycle exists
@@ -118,13 +140,15 @@ def iteration_bound(g: DFG) -> Fraction:
     resolution = Fraction(1, 2 * total_delay * total_delay)
     while hi - lo > resolution:
         mid = (lo + hi) / 2
-        if _has_positive_cycle(g, mid, strict=True):
+        if _relax_positive_cycle(g, prepared, mid, strict=True):
             lo = mid
         else:
             hi = mid
 
     candidate = ((lo + hi) / 2).limit_denominator(total_delay)
-    if _verify_bound(g, candidate):
+    if _relax_positive_cycle(g, prepared, candidate, strict=False) and not (
+        _relax_positive_cycle(g, prepared, candidate, strict=True)
+    ):
         return candidate
 
     # Extremely defensive fallback; unreachable for well-formed inputs but
@@ -132,12 +156,91 @@ def iteration_bound(g: DFG) -> Fraction:
     return iteration_bound_exhaustive(g)
 
 
+# ----------------------------------------------------------------------
+# Integer parametric hot path
+# ----------------------------------------------------------------------
+
+def has_cycle_with_nonneg_weight(g: DFG, lam: Fraction) -> bool:
+    """Whether some cycle satisfies ``T(C) - lam * D(C) >= 0``.
+
+    This is exactly the condition ``B(G) >= lam``.  Decided by the exact
+    integer oracle (no epsilon perturbation).
+    """
+    lam = Fraction(lam)
+    return EdgeKernel(g).has_positive_cycle(
+        lam.numerator, lam.denominator, strict=False
+    )
+
+
+def iteration_bound(g: DFG) -> Fraction:
+    """Exact iteration bound ``max_C T(C)/D(C)`` as a :class:`Fraction`.
+
+    Returns ``Fraction(0)`` for acyclic graphs (no cycle constrains the
+    rate).  Raises :class:`DFGError` if the graph has a zero-delay cycle
+    (such graphs have no legal schedule at all).
+
+    Parametric binary search: each probe ``λ = p/q`` asks the integer
+    oracle for a cycle with ``q*T(C) - p*D(C) > 0``; the bracket shrinks
+    below the minimum spacing ``1/total_delay²`` of distinct candidate
+    ratios, the unique surviving candidate is recovered with
+    ``limit_denominator``, and the answer is verified exactly (a zero-weight
+    cycle exists and no positive-weight cycle does).
+    """
+    from .validate import validate
+
+    validate(g)
+
+    total_delay = g.total_delay
+    if total_delay == 0:
+        # validate() guarantees no zero-delay cycle, so with no delays at
+        # all the graph is acyclic.
+        return Fraction(0)
+
+    kernel = EdgeKernel(g)
+
+    # Quick acyclicity check: if no cycle at lam=0 exists (i.e. no cycle at
+    # all, since weights are then all positive node times), bound is 0.
+    if not kernel.has_positive_cycle(0, 1, strict=True):
+        count("iteration_bound.probes", 1)
+        return Fraction(0)
+
+    lo = Fraction(0)  # B > 0 here: some cycle exists
+    hi = Fraction(g.total_time)  # T(C) <= total_time, D(C) >= 1
+    # Distinct candidate ratios have denominators <= total_delay, so once
+    # the bracket is narrower than 1/total_delay^2 only one candidate fits.
+    resolution = Fraction(1, 2 * total_delay * total_delay)
+    probes = 1  # the acyclicity probe above
+    while hi - lo > resolution:
+        mid = (lo + hi) / 2
+        probes += 1
+        if kernel.has_positive_cycle(mid.numerator, mid.denominator, strict=True):
+            lo = mid
+        else:
+            hi = mid
+    count("iteration_bound.probes", probes + 2)  # + the two verify probes
+
+    candidate = ((lo + hi) / 2).limit_denominator(total_delay)
+    if _verify_bound_kernel(kernel, candidate):
+        return candidate
+
+    # Extremely defensive fallback; unreachable for well-formed inputs but
+    # keeps the function total.
+    return iteration_bound_exhaustive(g)
+
+
+def _verify_bound_kernel(kernel: EdgeKernel, lam: Fraction) -> bool:
+    """``lam`` is the iteration bound iff a zero-weight cycle exists and no
+    positive-weight cycle exists at ``lam``."""
+    p, q = lam.numerator, lam.denominator
+    return kernel.has_positive_cycle(p, q, strict=False) and not (
+        kernel.has_positive_cycle(p, q, strict=True)
+    )
+
+
 def _verify_bound(g: DFG, lam: Fraction) -> bool:
     """``lam`` is the iteration bound iff a zero-weight cycle exists and no
     positive-weight cycle exists at ``lam``."""
-    return has_cycle_with_nonneg_weight(g, lam) and not _has_positive_cycle(
-        g, lam, strict=True
-    )
+    return _verify_bound_kernel(EdgeKernel(g), lam)
 
 
 def iteration_bound_exhaustive(g: DFG) -> Fraction:

@@ -1,0 +1,130 @@
+"""Flat index-array adjacency kernel shared by the parametric hot paths.
+
+The iteration-bound oracle and the retiming feasibility solvers all run
+Bellman–Ford-style relaxations over the same graph many times, varying only
+the edge weights between probes.  Touching :class:`~repro.graph.dfg.DFG`
+objects inside those inner loops — ``g.node(e.src).time``, attribute
+lookups on :class:`~repro.graph.dfg.Edge` — costs far more than the integer
+arithmetic itself.  An :class:`EdgeKernel` extracts the graph once into
+parallel flat lists indexed by small integers so that a probe is a pure
+``zip``-driven integer loop.
+
+The kernel is a snapshot: it does not track later mutations of the source
+graph.  Build it after the graph is final (which is how every algorithm in
+this library treats its input).
+"""
+
+from __future__ import annotations
+
+from ..observability import count
+from .dfg import DFG
+
+__all__ = ["EdgeKernel"]
+
+
+class EdgeKernel:
+    """Index-array snapshot of a DFG's nodes and edges.
+
+    Attributes
+    ----------
+    names:
+        Node names in insertion order; position is the node's index.
+    index:
+        ``name -> index`` inverse of :attr:`names`.
+    times:
+        ``times[i]`` is the computation time of node ``i``.
+    src, dst, delay, src_time:
+        Parallel per-edge lists: endpoint indices, edge delay, and the
+        (precomputed) computation time of the source node.
+    """
+
+    __slots__ = (
+        "names",
+        "index",
+        "num_nodes",
+        "num_edges",
+        "times",
+        "src",
+        "dst",
+        "delay",
+        "src_time",
+    )
+
+    def __init__(self, g: DFG) -> None:
+        names = g.node_names()
+        index = {n: i for i, n in enumerate(names)}
+        times = [g.node(n).time for n in names]
+        src: list[int] = []
+        dst: list[int] = []
+        delay: list[int] = []
+        src_time: list[int] = []
+        for e in g.edges():
+            s = index[e.src]
+            src.append(s)
+            dst.append(index[e.dst])
+            delay.append(e.delay)
+            src_time.append(times[s])
+        self.names = names
+        self.index = index
+        self.num_nodes = len(names)
+        self.num_edges = len(src)
+        self.times = times
+        self.src = src
+        self.dst = dst
+        self.delay = delay
+        self.src_time = src_time
+
+    def weighted_edges(self, p: int, q: int) -> list[tuple[int, int, int]]:
+        """Per-edge integer weights ``q * t(src) - p * d`` for ``λ = p/q``.
+
+        The weight sum of any cycle is then ``q * T(C) - p * D(C)``, whose
+        sign against zero compares ``T(C)/D(C)`` with ``p/q`` exactly — no
+        rational arithmetic inside relaxation loops.
+        """
+        return [
+            (s, t, q * st - p * d)
+            for s, t, st, d in zip(self.src, self.dst, self.src_time, self.delay)
+        ]
+
+    def has_positive_cycle(self, p: int, q: int, strict: bool = True) -> bool:
+        """Whether a cycle with ``q*T(C) - p*D(C) > 0`` (``>= 0`` when not
+        ``strict``) exists, by exact integer Bellman–Ford.
+
+        The non-strict test scales every weight by ``num_nodes + 1`` and adds
+        1 per edge: a simple cycle has at most ``num_nodes`` edges, so a
+        cycle of original weight ``>= 0`` becomes strictly positive while a
+        cycle of weight ``<= -1`` stays strictly negative — an exact
+        encoding, unlike epsilon perturbation over rationals.
+        """
+        edges = self.weighted_edges(p, q)
+        if not strict:
+            m = self.num_nodes + 1
+            edges = [(s, t, w * m + 1) for (s, t, w) in edges]
+        return _longest_path_diverges(edges, self.num_nodes)
+
+
+def _longest_path_diverges(edges: list[tuple[int, int, int]], n: int) -> bool:
+    """Longest-path relaxation from a virtual super-source over all nodes;
+    ``True`` iff relaxation still improves after ``n - 1`` passes (a strictly
+    positive cycle exists)."""
+    dist = [0] * n
+    passes = 0
+    diverges = False
+    for _ in range(n - 1):
+        passes += 1
+        changed = False
+        for s, t, w in edges:
+            cand = dist[s] + w
+            if cand > dist[t]:
+                dist[t] = cand
+                changed = True
+        if not changed:
+            break
+    else:
+        passes += 1
+        for s, t, w in edges:
+            if dist[s] + w > dist[t]:
+                diverges = True
+                break
+    count("kernel.relax_edges", passes * len(edges))
+    return diverges

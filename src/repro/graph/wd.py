@@ -20,19 +20,37 @@ retiming paper [Leiserson & Saxe, Algorithmica 1991].
 
 from __future__ import annotations
 
+import os
+
 from .dfg import DFG
 
 __all__ = ["wd_matrices", "wd_matrices_python", "distinct_d_values"]
 
 _INF = float("inf")
 
+
+def _threshold_from_env(default: int = 64) -> int:
+    """The numpy-dispatch node-count threshold, overridable via the
+    ``REPRO_WD_NUMPY_THRESHOLD`` environment variable (unparsable values
+    fall back to the default)."""
+    raw = os.environ.get("REPRO_WD_NUMPY_THRESHOLD")
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        return default
+
+
 #: Node count above which the vectorized numpy Floyd–Warshall is used.
 #: Measured crossover (this machine, random graphs with |E| ~ 2|V|): the
 #: pure-python pass wins below ~60 nodes thanks to its infinity short-
 #: circuit; numpy wins 4.5x at 80 nodes and ~15x at 250.  The numpy path
 #: packs the lexicographic (delay, -time) weight into one int64 so each
-#: Floyd–Warshall sweep is a single broadcasted minimum.
-_NUMPY_THRESHOLD = 64
+#: Floyd–Warshall sweep is a single broadcasted minimum.  Override with the
+#: ``REPRO_WD_NUMPY_THRESHOLD`` environment variable (read at import time;
+#: tests monkeypatch the module attribute directly).
+_NUMPY_THRESHOLD = _threshold_from_env()
 
 
 def wd_matrices(g: DFG) -> tuple[dict[tuple[str, str], int], dict[tuple[str, str], int]]:

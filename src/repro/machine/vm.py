@@ -93,16 +93,52 @@ def run_program(
     initial: Callable[[str, int], int] = default_initial,
     trace: bool = False,
     register_capacity: int | None = None,
+    dispatch: bool = True,
 ) -> VMResult:
     """Execute ``program`` with trip count ``n`` and return the array state.
 
     ``register_capacity`` bounds the conditional register file (see
     :class:`~repro.machine.registers.ConditionalRegisterFile`);
     ``initial`` supplies live-in array values.
+
+    By default execution goes through the pre-compiled threaded-dispatch
+    engine (:mod:`repro.machine.dispatch`), which is differential-tested
+    bit-identical to the reference interpreter.  ``dispatch=False`` forces
+    the reference interpreter; ``trace=True`` implies it (tracing hooks
+    live only there, and tracing cost dwarfs interpretation cost anyway).
     """
     if n < 0:
         raise MachineError(f"trip count must be >= 0, got {n}")
     _check_meta(program, n)
+
+    if dispatch and not trace:
+        from .dispatch import compile_program, execute_compiled
+
+        if register_capacity is not None and register_capacity < 0:
+            raise MachineError(f"capacity must be >= 0, got {register_capacity}")
+        compiled = compile_program(program)
+        with span("vm.run", program=program.name, n=n) as sp:
+            arrays, executed, disabled = execute_compiled(
+                compiled,
+                n,
+                initial,
+                {},
+                register_capacity,
+                program.loop.iter_indices(n),
+            )
+            sp.set(executed=executed, disabled=disabled)
+        if OBS.enabled:
+            m = OBS.metrics
+            m.counter(
+                "vm.instructions.executed", "compute instructions executed"
+            ).inc(executed)
+            m.counter(
+                "vm.instructions.disabled", "guarded computes whose predicate was off"
+            ).inc(disabled)
+            m.histogram(
+                "vm.run.instructions", "executed instructions per program run"
+            ).observe(executed)
+        return VMResult(arrays=arrays, executed=executed, disabled=disabled, trace=None)
 
     regs = ConditionalRegisterFile(trip_count=n, capacity=register_capacity)
     arrays: dict[str, dict[int, int]] = {}

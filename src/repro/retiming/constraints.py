@@ -73,9 +73,10 @@ class DifferenceConstraints:
                     changed = True
             if not changed:
                 break
-        else:
-            # Ran all n-1 passes with changes; must verify convergence below.
-            pass
+        # Whether relaxation settled early or ran all n-1 passes with
+        # changes (the adversarial-edge-order worst case), the check below
+        # is what decides feasibility: any still-violated constraint after
+        # n-1 full passes certifies a negative cycle.
         for b, a, c in edges:
             if dist[b] + c < dist[a]:
                 return None  # negative cycle: infeasible

@@ -1,20 +1,262 @@
-"""Incremental, node-at-a-time retiming operations.
+"""Incremental retiming operations: delay pushes and warm-started feasibility.
 
-Rotation scheduling (:mod:`repro.schedule.rotation`) and critical-path
-retiming heuristics do not solve a global constraint system; they repeatedly
-*push* single delays through individual nodes.  In the paper's sign
-convention, pushing one delay through node ``v`` (drawing it from every
-incoming edge, emitting it on every outgoing edge) is ``r(v) += 1`` and is
-legal exactly when every incoming edge of the *current* retimed graph
-carries at least one delay.
+Two kinds of incrementality live here:
+
+* **Node-at-a-time pushes** — rotation scheduling
+  (:mod:`repro.schedule.rotation`) and critical-path retiming heuristics do
+  not solve a global constraint system; they repeatedly *push* single delays
+  through individual nodes.  In the paper's sign convention, pushing one
+  delay through node ``v`` (drawing it from every incoming edge, emitting it
+  on every outgoing edge) is ``r(v) += 1`` and is legal exactly when every
+  incoming edge of the *current* retimed graph carries at least one delay.
+
+* **Warm-started period feasibility** — the binary search of
+  :func:`repro.retiming.optimal.minimize_cycle_period` probes a descending
+  sequence of candidate periods ``c``, and the Leiserson–Saxe constraint
+  systems for those probes are *nested*: a smaller ``c`` keeps every
+  constraint of a larger one and adds constraints for the node pairs with
+  ``c < D(u, v)``.  :class:`IncrementalFeasibility` exploits that nesting —
+  instead of rebuilding and re-solving the system per probe, it keeps the
+  shortest-path fixpoint of the last feasible probe and, for the next
+  (smaller) ``c``, activates only the newly triggered pair constraints and
+  resumes pass-based Bellman–Ford relaxation from that fixpoint.  The
+  fixpoint of a difference-constraint system is its unique shortest-path
+  solution, so the warm-started answer is *identical* to a fresh
+  Bellman–Ford solve — which the property tests pin exactly.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
+
 from ..graph.dfg import DFG
+from ..observability import count
 from .function import Retiming, RetimingError
 
-__all__ = ["can_push", "push_nodes", "pushable_nodes"]
+__all__ = ["IncrementalFeasibility", "can_push", "push_nodes", "pushable_nodes"]
+
+
+#: Node count above which the vectorized numpy relaxation is used for the
+#: warm-started feasibility solver (the pair-constraint set is dense —
+#: O(V²) edges — so vectorized passes win early).  Overridable via the
+#: ``REPRO_INC_NUMPY_THRESHOLD`` environment variable.
+def _inc_threshold(default: int = 64) -> int:
+    import os
+
+    raw = os.environ.get("REPRO_INC_NUMPY_THRESHOLD")
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        return default
+
+
+_NUMPY_THRESHOLD = _inc_threshold()
+
+
+class IncrementalFeasibility:
+    """Warm-started feasibility oracle for the period binary search.
+
+    Built once per graph from the shared ``(W, D)`` matrices.  Each call to
+    :meth:`try_period` answers "is there a legal retiming with cycle period
+    ``<= c``?" and, when feasible, returns the shortest-path solution of the
+    full constraint system — *identical* to
+    :meth:`repro.retiming.constraints.DifferenceConstraints.solve` on the
+    same system, because the fixpoint of a difference-constraint relaxation
+    is unique.
+
+    The solver is optimized for the descending-``c`` probe pattern of a
+    binary search: a probe below the best feasible period so far starts
+    relaxation from that probe's committed fixpoint (which already satisfies
+    every previously active constraint) so typically only one or two passes
+    are needed; probes above the best feasible period are still answered
+    correctly via a cold start from the base system.  Relaxation is
+    pass-based Bellman–Ford over flat active-edge arrays — vectorized with
+    numpy above :data:`_NUMPY_THRESHOLD` nodes — with the classic
+    still-improving-after-``|V|-1``-passes negative-cycle certificate.
+
+    Attributes
+    ----------
+    stats:
+        ``{"probes", "relaxations", "constraints_added"}`` — deterministic
+        operation counters (also mirrored into observability counters
+        ``retiming.incremental.*``) used by the perf-smoke benchmark.
+    """
+
+    def __init__(
+        self,
+        g: DFG,
+        W: dict[tuple[str, str], int],
+        D: dict[tuple[str, str], int],
+    ) -> None:
+        names = g.node_names()
+        index = {n: i for i, n in enumerate(names)}
+        n = len(names)
+        self._names = names
+        self._n = n
+        self._max_time = max((v.time for v in g.nodes()), default=0)
+
+        # Base legality constraints r(dst) - r(src) <= d(e): relaxation edge
+        # src -> dst of weight d.  All weights are >= 0, so the base
+        # system's shortest-path fixpoint from the virtual source is the
+        # all-zero vector — the base solve is free.
+        self._base = [(index[e.src], index[e.dst], e.delay) for e in g.edges()]
+
+        # Pair constraints r(v) - r(u) <= W(u, v) - 1, activated when the
+        # probe period drops below D(u, v).  Sorted by D descending (ties
+        # broken by node index for full determinism), so the constraints
+        # active at period c are exactly a prefix of this list.
+        pairs = sorted(
+            (
+                (d_val, index[u], index[v], W[(u, v)] - 1)
+                for (u, v), d_val in D.items()
+            ),
+            key=lambda t: (-t[0], t[1], t[2]),
+        )
+        self._pair_edges = [(u, v, w) for (_d, u, v, w) in pairs]
+        # Ascending keys for bisect: pairs[:k] have D > c where
+        # k = bisect_left(neg_d, -c).
+        self._neg_d = [-p[0] for p in pairs]
+
+        self._use_numpy = n > _NUMPY_THRESHOLD and self._numpy_safe()
+        if self._use_numpy:
+            import numpy as np
+
+            base = self._base or [(0, 0, 0)]  # keep arrays non-empty
+            self._np = np
+            self._b_src = np.array([e[0] for e in base], dtype=np.int64)
+            self._b_dst = np.array([e[1] for e in base], dtype=np.int64)
+            self._b_w = np.array([e[2] for e in base], dtype=np.int64)
+            self._p_src = np.array([e[0] for e in self._pair_edges], dtype=np.int64)
+            self._p_dst = np.array([e[1] for e in self._pair_edges], dtype=np.int64)
+            self._p_w = np.array([e[2] for e in self._pair_edges], dtype=np.int64)
+
+        # Committed feasible state: the exact fixpoint of the system with
+        # pair constraints pairs[:best_k] active.
+        self._best_k = 0
+        self._best_dist: list[int] = [0] * n
+
+        self.stats = {"probes": 0, "relaxations": 0, "constraints_added": 0}
+
+    def _numpy_safe(self) -> bool:
+        """Whether int64 arithmetic cannot overflow on this system: distance
+        magnitudes are bounded by ``(|V| + 1) * max|w|``."""
+        weights = [abs(w) for (_u, _v, w) in self._base + self._pair_edges]
+        bound = (self._n + 2) * (max(weights, default=0) + 1)
+        return bound < 2**60
+
+    def _active_count(self, c: int) -> int:
+        """Number of pair constraints active at period ``c`` (those with
+        ``D > c``) — a prefix length of the sorted pair list."""
+        return bisect_left(self._neg_d, -c)
+
+    def try_period(self, c: int) -> dict[str, int] | None:
+        """Shortest-path solution of the period-``c`` system, or ``None``.
+
+        Feasible results commit their fixpoint as the warm-start state for
+        subsequent (smaller-``c``) probes.
+        """
+        self.stats["probes"] += 1
+        count("retiming.incremental.probes")
+        if self._max_time > c:
+            return None
+
+        k = self._active_count(c)
+        warm = k >= self._best_k
+        fresh = k - self._best_k if warm else k
+        self.stats["constraints_added"] += fresh
+        count("retiming.incremental.constraints_added", fresh)
+
+        if self._use_numpy:
+            dist = self._relax_numpy(k, warm)
+        else:
+            dist = self._relax_python(k, warm)
+        if dist is None:
+            return None
+
+        if warm:
+            # Commit: the fixpoint of a superset system warm-starts every
+            # later, tighter probe.
+            self._best_k = k
+            self._best_dist = list(dist)
+        return {self._names[i]: int(dist[i]) for i in range(self._n)}
+
+    # ------------------------------------------------------------------
+    # relaxation backends (identical fixpoints)
+    # ------------------------------------------------------------------
+    def _relax_python(self, k: int, warm: bool) -> list[int] | None:
+        """Pass-based Bellman–Ford over the active edges, warm-started.
+
+        ``dist`` starts at the committed fixpoint (warm) or all zeros
+        (cold); either satisfies the base system, so at most ``|V| - 1``
+        passes settle every simple-path improvement and a still-improving
+        verification pass certifies a negative cycle (infeasible).
+        """
+        dist = self._best_dist.copy() if warm else [0] * self._n
+        base = self._base
+        active = self._pair_edges[:k]
+        relaxations = 0
+        feasible = True
+        for _ in range(max(1, self._n - 1)):
+            changed = False
+            for u, v, w in base:
+                cand = dist[u] + w
+                if cand < dist[v]:
+                    dist[v] = cand
+                    changed = True
+            for u, v, w in active:
+                cand = dist[u] + w
+                if cand < dist[v]:
+                    dist[v] = cand
+                    changed = True
+            relaxations += len(base) + len(active)
+            if not changed:
+                break
+        else:
+            for u, v, w in base + active:
+                if dist[u] + w < dist[v]:
+                    feasible = False
+                    break
+            relaxations += len(base) + len(active)
+        self.stats["relaxations"] += relaxations
+        count("retiming.incremental.relaxations", relaxations)
+        return dist if feasible else None
+
+    def _relax_numpy(self, k: int, warm: bool):
+        """Vectorized synchronous Bellman–Ford (scatter-min per pass).
+
+        Converges to the same unique fixpoint as the sequential pass; a
+        pass that still improves distances after ``|V| - 1`` full passes
+        certifies a negative cycle.
+        """
+        np = self._np
+        dist = (
+            np.array(self._best_dist, dtype=np.int64)
+            if warm
+            else np.zeros(self._n, dtype=np.int64)
+        )
+        b_src, b_dst, b_w = self._b_src, self._b_dst, self._b_w
+        p_src = self._p_src[:k]
+        p_dst = self._p_dst[:k]
+        p_w = self._p_w[:k]
+        relaxations = 0
+        feasible = None
+        for _ in range(max(1, self._n)):
+            before = dist.copy()
+            np.minimum.at(dist, b_dst, before[b_src] + b_w)
+            if k:
+                np.minimum.at(dist, p_dst, before[p_src] + p_w)
+            relaxations += len(b_src) + k
+            if np.array_equal(dist, before):
+                feasible = True
+                break
+        if feasible is None:
+            # Still improving after |V| passes: negative cycle.
+            feasible = False
+        self.stats["relaxations"] += relaxations
+        count("retiming.incremental.relaxations", relaxations)
+        return dist if feasible else None
 
 
 def can_push(retimed: DFG, nodes: set[str] | frozenset[str]) -> bool:

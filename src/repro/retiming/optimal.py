@@ -13,6 +13,22 @@ period ``<= c``" constructively, by solving the difference-constraint system
 ``minimize_cycle_period(G)`` binary-searches the sorted distinct values of
 the ``D`` matrix — the optimum is always one of them — and returns the
 minimum period together with a witnessing *normalized* retiming.
+
+Three search strategies are available (all provably return the same period
+and the same normalized witness, which the test-suite pins exactly):
+
+``method="incremental"`` (default)
+    Compute ``(W, D)`` once, then drive the binary search through the
+    warm-started :class:`~repro.retiming.incremental.IncrementalFeasibility`
+    solver, which exploits that the per-probe constraint systems are nested
+    in ``c``.  The asymptotically and practically fastest path.
+``method="shared"``
+    Compute ``(W, D)`` once and thread it into a fresh Bellman–Ford
+    constraint solve per probe (``retime_for_period(g, c, wd=...)``).
+``method="reference"``
+    The original behavior: every probe rebuilds ``(W, D)`` from scratch and
+    self-verifies its witness.  Kept as the differential-testing reference
+    and benchmark baseline.
 """
 
 from __future__ import annotations
@@ -23,23 +39,39 @@ from ..graph.wd import wd_matrices
 from ..observability import count, span
 from .constraints import DifferenceConstraints
 from .function import Retiming
+from .incremental import IncrementalFeasibility
 
 __all__ = ["retime_for_period", "minimize_cycle_period", "minimum_cycle_period"]
 
+_WD = tuple[dict[tuple[str, str], int], dict[tuple[str, str], int]]
 
-def retime_for_period(g: DFG, c: int) -> Retiming | None:
+
+def retime_for_period(
+    g: DFG,
+    c: int,
+    *,
+    wd: _WD | None = None,
+    verify: bool = True,
+) -> Retiming | None:
     """A normalized legal retiming of ``g`` with cycle period ``<= c``,
     or ``None`` if none exists.
 
     Nodes with computation time ``t(v) > c`` make any period ``<= c``
     impossible regardless of retiming; that case returns ``None``
     immediately.
+
+    ``wd`` supplies precomputed ``(W, D)`` matrices (from
+    :func:`repro.graph.wd.wd_matrices`) so that repeated probes on the same
+    graph skip the O(V³) recomputation; ``verify=False`` skips the
+    self-check that re-applies the witness and recomputes its cycle period
+    (the reduction is exact; the check is for the function's self-checking
+    contract on one-shot calls, not for tight probe loops).
     """
     count("retiming.feasibility_checks")
     if any(v.time > c for v in g.nodes()):
         return None
 
-    W, D = wd_matrices(g)
+    W, D = wd if wd is not None else wd_matrices(g)
     system = DifferenceConstraints()
     for n in g.node_names():
         system.add_variable(n)
@@ -53,24 +85,64 @@ def retime_for_period(g: DFG, c: int) -> Retiming | None:
     if solution is None:
         return None
     r = Retiming(g, {n: int(val) for n, val in solution.items()}).normalized()
-    # The reduction is exact, but verify anyway — cheap and makes the
-    # function's contract self-checking.
-    retimed = r.apply()
-    assert cycle_period(retimed) <= c, "internal error: LS reduction violated"
+    if verify:
+        retimed = r.apply()
+        assert cycle_period(retimed) <= c, "internal error: LS reduction violated"
     return r
 
 
-def minimize_cycle_period(g: DFG) -> tuple[int, Retiming]:
+def minimize_cycle_period(
+    g: DFG,
+    *,
+    method: str = "incremental",
+    verify: bool = False,
+) -> tuple[int, Retiming]:
     """The minimum cycle period achievable by retiming, with a witness.
 
     Binary search over the sorted distinct ``D``-matrix values (the optimum
     is one of them, by Leiserson–Saxe Theorem 8 adapted to this sign
     convention).  The returned retiming is normalized.
+
+    ``method`` selects the probe strategy (see the module docstring); all
+    strategies return identical results.  ``verify=True`` additionally
+    re-applies every feasible probe's witness and checks its period (always
+    on for ``method="reference"``, matching the original behavior).
     """
-    from ..graph.wd import distinct_d_values
+    if method not in ("incremental", "shared", "reference"):
+        raise ValueError(f"unknown minimize_cycle_period method {method!r}")
 
     with span("retiming.minimize", graph=g.name, nodes=g.num_nodes) as sp:
-        candidates = distinct_d_values(g)
+        if method == "reference":
+            from ..graph.wd import distinct_d_values
+
+            candidates = distinct_d_values(g)
+
+            def probe(c: int) -> Retiming | None:
+                return retime_for_period(g, c)
+
+        else:
+            W, D = wd_matrices(g)
+            candidates = sorted(set(D.values()))
+            if method == "incremental":
+                solver = IncrementalFeasibility(g, W, D)
+
+                def probe(c: int) -> Retiming | None:
+                    solution = solver.try_period(c)
+                    if solution is None:
+                        return None
+                    r = Retiming(g, solution).normalized()
+                    if verify:
+                        assert cycle_period(r.apply()) <= c, (
+                            "internal error: incremental solver violated "
+                            "the LS reduction"
+                        )
+                    return r
+
+            else:  # "shared"
+
+                def probe(c: int) -> Retiming | None:
+                    return retime_for_period(g, c, wd=(W, D), verify=verify)
+
         lo, hi = 0, len(candidates) - 1
         best: tuple[int, Retiming] | None = None
         iterations = 0
@@ -78,7 +150,7 @@ def minimize_cycle_period(g: DFG) -> tuple[int, Retiming]:
             iterations += 1
             mid = (lo + hi) // 2
             c = candidates[mid]
-            r = retime_for_period(g, c)
+            r = probe(c)
             if r is not None:
                 best = (c, r)
                 hi = mid - 1

@@ -133,3 +133,69 @@ class TestNumpyPath:
         c, r = minimize_cycle_period(g)
         assert c == 13
         assert (r.max_value, r.registers_needed()) == (1, 2)
+
+
+class TestNumpyThresholdDispatch:
+    """The python/numpy dispatch threshold and its env-var override."""
+
+    def test_env_override(self, monkeypatch):
+        from repro.graph import wd
+
+        monkeypatch.setenv("REPRO_WD_NUMPY_THRESHOLD", "7")
+        assert wd._threshold_from_env() == 7
+        monkeypatch.setenv("REPRO_WD_NUMPY_THRESHOLD", "not-a-number")
+        assert wd._threshold_from_env(default=64) == 64
+        monkeypatch.delenv("REPRO_WD_NUMPY_THRESHOLD")
+        assert wd._threshold_from_env(default=64) == 64
+
+    @staticmethod
+    def _awkward_graph(rng, num_nodes):
+        """A random graph spiced with the dispatch-sensitive shapes:
+        a delayed self-loop and a parallel edge with a different delay."""
+        from repro.graph.generators import random_dfg
+
+        g = random_dfg(
+            rng,
+            num_nodes=num_nodes,
+            extra_edges=2 * num_nodes,
+            max_delay=3,
+            max_time=3,
+        )
+        names = g.node_names()
+        g.add_edge(names[0], names[0], delay=2)
+        e = next(iter(g.edges()))
+        g.add_edge(e.src, e.dst, delay=e.delay + 1)
+        return g
+
+    def test_both_paths_forced_on_identical_graphs(self, monkeypatch):
+        """Force python and numpy paths on the same graphs by swinging the
+        threshold; the matrices must agree exactly."""
+        import random
+
+        from repro.graph import wd
+
+        rng = random.Random(20020806)
+        for num_nodes in (4, 7, 9, 12):
+            g = self._awkward_graph(rng, num_nodes)
+            monkeypatch.setattr(wd, "_NUMPY_THRESHOLD", 10**9)
+            via_python = wd.wd_matrices(g)
+            monkeypatch.setattr(wd, "_NUMPY_THRESHOLD", 0)
+            via_numpy = wd.wd_matrices(g)
+            assert via_python == via_numpy
+
+    def test_dispatch_straddles_threshold(self, monkeypatch):
+        """With the threshold pinned between two graph sizes, the smaller
+        graph exercises the python path and the larger the numpy path —
+        both matching their explicit reference implementations."""
+        import random
+
+        from repro.graph import wd
+        from repro.graph.wd import _wd_matrices_numpy, wd_matrices_python
+
+        monkeypatch.setattr(wd, "_NUMPY_THRESHOLD", 8)
+        rng = random.Random(99)
+        small = self._awkward_graph(rng, 6)   # 6 <= 8: python path
+        large = self._awkward_graph(rng, 11)  # 11 > 8: numpy path
+        assert wd.wd_matrices(small) == wd_matrices_python(small)
+        assert wd.wd_matrices(large) == _wd_matrices_numpy(large)
+        assert wd_matrices_python(large) == _wd_matrices_numpy(large)

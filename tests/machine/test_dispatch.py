@@ -1,0 +1,190 @@
+"""Tests for the pre-compiled threaded-dispatch execution engine.
+
+The contract is total behavioral equivalence with the reference
+interpreter — same arrays, same counters, same exceptions with the same
+messages — plus sane compile-cache behavior.
+"""
+
+from __future__ import annotations
+
+import gc
+import random
+
+import pytest
+
+from repro.codegen import original_loop, pipelined_loop
+from repro.codegen.ir import (
+    ComputeInstr,
+    IndexBase,
+    IndexExpr,
+    Loop,
+    LoopProgram,
+    Operand,
+)
+from repro.graph import OpKind
+from repro.graph.dfg import DFGError
+from repro.graph.generators import random_dfg
+from repro.machine import MachineError, run_program
+from repro.machine.dispatch import _CACHE, compile_program
+from repro.retiming import minimize_cycle_period
+from repro.workloads import WORKLOADS
+
+_EMPTY_LOOP = Loop(
+    start=IndexExpr(IndexBase.CONST, 1),
+    end=IndexExpr(IndexBase.CONST, 0),
+    step=1,
+    body=(),
+)
+
+
+def _assert_same_outcome(program, n, **kwargs):
+    """Run both engines; pin results or exceptions equal."""
+    ref_exc = new_exc = ref = new = None
+    try:
+        ref = run_program(program, n, dispatch=False, **kwargs)
+    except Exception as exc:  # noqa: BLE001 - parity check needs everything
+        ref_exc = exc
+    try:
+        new = run_program(program, n, **kwargs)
+    except Exception as exc:  # noqa: BLE001
+        new_exc = exc
+    if ref_exc is not None or new_exc is not None:
+        assert type(ref_exc) is type(new_exc), (ref_exc, new_exc)
+        assert str(ref_exc) == str(new_exc)
+        return None
+    assert new.arrays == ref.arrays
+    assert new.executed == ref.executed
+    assert new.disabled == ref.disabled
+    return new
+
+
+class TestDispatchEquivalence:
+    def test_workload_registry(self, bench_graph):
+        p = original_loop(bench_graph)
+        _assert_same_outcome(p, 17)
+        _, r = minimize_cycle_period(bench_graph)
+        _assert_same_outcome(pipelined_loop(bench_graph, r), 17)
+
+    def test_random_programs(self):
+        rng = random.Random(31337)
+        for i in range(40):
+            g = random_dfg(rng, num_nodes=rng.randint(3, 10), name=f"d{i}")
+            p = original_loop(g)
+            min_n = p.meta.get("min_n", 1) or 1
+            _assert_same_outcome(p, max(min_n, rng.randint(1, 15)))
+
+    def test_trace_uses_reference_path(self, fig8):
+        """Tracing needs the reference interpreter's hooks; results still
+        match the dispatch path."""
+        p = original_loop(fig8)
+        traced = run_program(p, 9, trace=True)
+        assert traced.trace is not None
+        dispatched = run_program(p, 9)
+        assert dispatched.trace is None
+        assert dispatched.arrays == traced.arrays
+
+
+class TestDispatchErrors:
+    def test_negative_trip_count(self, fig8):
+        p = original_loop(fig8)
+        _assert_same_outcome(p, -1)
+
+    def test_negative_capacity(self, fig8):
+        p = original_loop(fig8)
+        _assert_same_outcome(p, 5, register_capacity=-2)
+
+    def test_capacity_exhaustion_message(self, bench_graph):
+        _, r = minimize_cycle_period(bench_graph)
+        p = pipelined_loop(bench_graph, r)
+        _assert_same_outcome(p, 11, register_capacity=0)
+
+    def test_loop_var_index_outside_body(self):
+        """A loop-variable index in pre/post must raise DFGError at
+        *execution* time on both paths."""
+        bad = ComputeInstr(
+            dest=Operand("A", IndexExpr(IndexBase.I, 0)),
+            op=OpKind.SOURCE,
+            imm=1,
+            srcs=(),
+        )
+        p = LoopProgram(
+            name="bad-pre",
+            pre=(bad,),
+            loop=_EMPTY_LOOP,
+            post=(),
+        )
+        with pytest.raises(DFGError, match="outside the loop body"):
+            run_program(p, 3)
+        _assert_same_outcome(p, 3)
+
+    def test_double_write_message(self):
+        instr = ComputeInstr(
+            dest=Operand("A", IndexExpr(IndexBase.CONST, 1)),
+            op=OpKind.SOURCE,
+            imm=1,
+            srcs=(),
+        )
+        p = LoopProgram(
+            name="dup", pre=(instr, instr), loop=_EMPTY_LOOP, post=()
+        )
+        with pytest.raises(MachineError, match=r"A\[1\] computed twice"):
+            run_program(p, 2)
+        _assert_same_outcome(p, 2)
+
+    def test_out_of_range_write_message(self):
+        instr = ComputeInstr(
+            dest=Operand("A", IndexExpr(IndexBase.CONST, 99)),
+            op=OpKind.SOURCE,
+            imm=1,
+            srcs=(),
+        )
+        p = LoopProgram(name="oob", pre=(instr,), loop=_EMPTY_LOOP, post=())
+        with pytest.raises(MachineError, match=r"write to A\[99\] outside"):
+            run_program(p, 2)
+        _assert_same_outcome(p, 2)
+
+
+class TestCompileCache:
+    def test_same_object_hits_cache(self, fig8):
+        p = original_loop(fig8)
+        assert compile_program(p) is compile_program(p)
+
+    def test_distinct_programs_compile_separately(self, fig8):
+        p1 = original_loop(fig8)
+        p2 = original_loop(fig8)
+        c1, c2 = compile_program(p1), compile_program(p2)
+        assert c1 is not c2
+
+    def test_cache_entry_dies_with_program(self, fig8):
+        p = original_loop(fig8)
+        key = id(p)
+        compile_program(p)
+        assert key in _CACHE
+        del p
+        gc.collect()
+        assert key not in _CACHE
+
+    def test_id_reuse_does_not_serve_stale_code(self, fig8):
+        """If a new program object lands on a recycled id, the weakref
+        guard must force a recompile rather than serve the old code."""
+        p1 = original_loop(fig8)
+        c1 = compile_program(p1)
+        # Simulate id reuse: plant c1 under p2's id with a dead-ish ref.
+        p2 = pipelined_loop(fig8, minimize_cycle_period(fig8)[1])
+        _CACHE[id(p2)] = c1
+        c2 = compile_program(p2)
+        assert c2 is not c1
+        assert c2.program_ref() is p2
+
+
+class TestWorkloadSweep:
+    """Every registry workload, original + pipelined, at several trip
+    counts — the in-suite slice of the full differential sweep."""
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_registry_program(self, name):
+        g = WORKLOADS[name]()
+        for p in (original_loop(g), pipelined_loop(g, minimize_cycle_period(g)[1])):
+            min_n = p.meta.get("min_n", 1) or 1
+            for n in {min_n, min_n + 7, min_n + 20}:
+                _assert_same_outcome(p, n)

@@ -103,3 +103,44 @@ class TestSolve:
         for a, b, c in triples:
             s.add(f"v{a}", f"v{b}", c)
         assert s.is_feasible()
+
+
+class TestSlowConvergence:
+    """The adversarial-edge-order worst case: relaxation improves something
+    in every one of the ``n - 1`` allowed passes, so the early-exit branch
+    never fires and feasibility is decided purely by the final verification
+    pass over the constraints."""
+
+    N = 12
+
+    def _chain(self) -> DifferenceConstraints:
+        # x(v_{i+1}) - x(v_i) <= -1, added in reverse propagation order:
+        # each pass can push the frontier only one link further down the
+        # chain, so settling takes the full n - 1 passes.
+        s = DifferenceConstraints()
+        for i in range(self.N - 2, -1, -1):
+            s.add(f"v{i + 1}", f"v{i}", -1)
+        return s
+
+    def test_full_pass_budget_still_feasible(self):
+        s = self._chain()
+        sol = s.solve()
+        assert sol == {f"v{i}": -i for i in range(self.N)}
+        assert s.check(sol)
+
+    def test_full_pass_budget_then_negative_cycle(self):
+        # Closing the chain with x(v_0) - x(v_{N-1}) <= N - 3 makes the
+        # cycle sum (N - 3) - (N - 1) = -2: infeasible, and detected only
+        # by the verification pass after the exhausted pass budget.
+        s = self._chain()
+        s.add("v0", f"v{self.N - 1}", self.N - 3)
+        assert s.solve() is None
+
+    def test_exact_pass_budget_boundary(self):
+        # Closing the cycle with sum exactly 0 stays feasible: the
+        # verification pass must not misreport a tight (zero-weight) cycle.
+        s = self._chain()
+        s.add("v0", f"v{self.N - 1}", self.N - 1)
+        sol = s.solve()
+        assert sol is not None
+        assert s.check(sol)
