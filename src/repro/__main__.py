@@ -28,6 +28,7 @@ from .analysis.__main__ import (
     engine_from_args,
     export_observability,
     print_tables,
+    report_resilience,
 )
 from .codegen import emit_c, format_program, original_loop
 from .core import (
@@ -161,7 +162,7 @@ def _cmd_tables(args) -> int:
         print("=== Engine stats ===")
         print(engine.stats_summary())
     export_observability(args, engine)
-    return 0
+    return 1 if report_resilience(args, engine) else 0
 
 
 def _cmd_sweep(args) -> int:
@@ -181,7 +182,8 @@ def _cmd_sweep(args) -> int:
         print("=== Engine stats ===")
         print(engine.stats_summary())
     export_observability(args, engine)
-    return 0 if report.ok else 1
+    degraded = report_resilience(args, engine)
+    return 0 if report.ok and not degraded else 1
 
 
 def _cmd_profile(args) -> int:

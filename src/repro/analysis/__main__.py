@@ -18,11 +18,15 @@ time and VM instruction counts.
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from pathlib import Path
 
 from .. import observability
+from ..runner import resilience
 from ..runner.engine import ExperimentEngine, default_engine
+from ..runner.resilience import FaultPlan, RetryPolicy
 from .experiments import (
     PAPER_TABLE3,
     PAPER_TABLE4,
@@ -91,6 +95,34 @@ def add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="FILE",
         help="enable metrics; write the JSON metrics export to FILE",
     )
+    rgroup = parser.add_argument_group("resilience")
+    rgroup.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="PLAN",
+        help="fault-injection plan: a JSON file path or inline JSON "
+        "(default: $REPRO_FAULT_PLAN; see docs/RESILIENCE.md)",
+    )
+    rgroup.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="max attempts per job before it degrades to FAILED (default 3)",
+    )
+    rgroup.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SEC",
+        help="per-attempt deadline; late attempts are retried, then FAILED",
+    )
+    rgroup.add_argument(
+        "--outcomes-out",
+        default=None,
+        metavar="FILE",
+        help="write per-job outcome records (status, attempts, faults) as JSON",
+    )
 
 
 def engine_from_args(args: argparse.Namespace) -> ExperimentEngine:
@@ -98,11 +130,27 @@ def engine_from_args(args: argparse.Namespace) -> ExperimentEngine:
 
     Requesting ``--trace`` or ``--metrics-out`` turns observability on for
     the whole run (workers included) before any work is submitted.
+    ``--fault-plan`` (or ``$REPRO_FAULT_PLAN``) activates the
+    fault-injection plan process-wide, so the engine forwards it to its
+    pool workers; without one every resilience hook stays a no-op.
     """
     if getattr(args, "trace", None) or getattr(args, "metrics_out", None):
         observability.enable()
+    spec = getattr(args, "fault_plan", None) or os.environ.get(
+        resilience.FAULT_PLAN_ENV
+    )
+    if spec:
+        resilience.activate(FaultPlan.from_spec(spec))
+    retry = RetryPolicy()
+    retries = getattr(args, "retries", None)
+    timeout = getattr(args, "job_timeout", None)
+    if retries is not None or timeout is not None:
+        retry = RetryPolicy(
+            max_attempts=retries if retries is not None else retry.max_attempts,
+            timeout=timeout,
+        )
     return default_engine(
-        jobs=args.jobs, cache=not args.no_cache, cache_dir=args.cache_dir
+        jobs=args.jobs, cache=not args.no_cache, cache_dir=args.cache_dir, retry=retry
     )
 
 
@@ -119,6 +167,37 @@ def export_observability(args: argparse.Namespace, engine: ExperimentEngine) -> 
     if metrics_path:
         Path(metrics_path).write_text(observability.OBS.metrics.to_json())
         print(f"wrote metrics JSON: {metrics_path}", file=sys.stderr)
+
+
+def report_resilience(args: argparse.Namespace, engine: ExperimentEngine) -> int:
+    """Post-run resilience reporting shared by the engine commands.
+
+    Writes the ``--outcomes-out`` artifact, prints the failure summary for
+    degraded runs, and returns the number of FAILED units (callers fold
+    this into the exit code).
+    """
+    outcomes_path = getattr(args, "outcomes_out", None)
+    if outcomes_path:
+        s = engine.stats
+        doc = {
+            "stats": {
+                "calls": s.calls,
+                "computed": s.computed,
+                "completed": s.completed,
+                "errors": s.errors,
+                "retried": s.retried,
+                "timed_out": s.timed_out,
+                "failed": s.failed,
+            },
+            "outcomes": [o.as_dict() for o in s.outcomes],
+        }
+        Path(outcomes_path).write_text(json.dumps(doc, indent=2))
+        print(f"wrote job outcomes JSON: {outcomes_path}", file=sys.stderr)
+    summary = engine.failure_summary()
+    if summary:
+        print("=== Failure summary ===", file=sys.stderr)
+        print(summary, file=sys.stderr)
+    return engine.stats.failed + engine.stats.timed_out
 
 
 def print_tables(wanted: set[str], engine: ExperimentEngine) -> None:
@@ -153,7 +232,7 @@ def main(argv: list[str]) -> int:
         print("=== Engine stats ===")
         print(engine.stats_summary())
     export_observability(args, engine)
-    return 0
+    return 1 if report_resilience(args, engine) else 0
 
 
 if __name__ == "__main__":

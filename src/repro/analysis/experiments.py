@@ -44,6 +44,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner uses core)
     from ..runner.engine import ExperimentEngine
 
 __all__ = [
+    "FailedCell",
     "Table1Row",
     "Table2Row",
     "OrderComparison",
@@ -101,6 +102,36 @@ PAPER_TABLE4: dict[str, tuple[int, int, int]] = {
 
 
 # ----------------------------------------------------------------------
+# Graceful degradation: a row whose engine job died after retries.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FailedCell:
+    """Placeholder for a table row/column whose unit of work FAILED.
+
+    The engine's resilience layer degrades a retry-exhausted job into a
+    structured failure payload instead of raising; the table drivers map
+    such payloads onto this marker so the run renders ``FAILED`` cells
+    (and exits non-zero with a summary) rather than dying mid-report.
+    """
+
+    name: str = ""
+    label: str = "?"
+    factor: int = 0
+    error: str = ""
+
+
+def _failed_cell(payload: dict, name: str = "", label: str = "?", factor: int = 0):
+    """The :class:`FailedCell` for a failure payload, else ``None``."""
+    if payload.get("ok", True):
+        return None
+    return FailedCell(
+        name=name, label=label, factor=factor, error=str(payload.get("error"))
+    )
+
+
+# ----------------------------------------------------------------------
 # Table 1 — code size after retiming, CSR, registers.
 # ----------------------------------------------------------------------
 
@@ -142,7 +173,10 @@ def _table1_payload(params: dict) -> dict:
     }
 
 
-def _table1_row(name: str, g: DFG, payload: dict) -> Table1Row:
+def _table1_row(name: str, g: DFG, payload: dict) -> "Table1Row | FailedCell":
+    failed = _failed_cell(payload, name=name, label=PAPER_LABELS[name])
+    if failed is not None:
+        return failed
     return Table1Row(
         name=name,
         label=PAPER_LABELS[name],
@@ -182,6 +216,9 @@ def format_table1(rows: list[Table1Row] | None = None) -> str:
     rows = rows if rows is not None else table1_rows()
     out = []
     for row in rows:
+        if isinstance(row, FailedCell):
+            out.append([row.label] + ["FAILED"] * 9)
+            continue
         p = PAPER_TABLE1[row.name]
         out.append(
             [
@@ -266,7 +303,8 @@ def table2_rows(
     else:
         payloads = [_table2_payload(p) for p in params]
     return [
-        Table2Row(
+        _failed_cell(payload, name=name, label=PAPER_LABELS[name], factor=f)
+        or Table2Row(
             name=name,
             label=PAPER_LABELS[name],
             factor=f,
@@ -284,6 +322,9 @@ def format_table2(rows: list[Table2Row] | None = None) -> str:
     rows = rows if rows is not None else table2_rows()
     out = []
     for row in rows:
+        if isinstance(row, FailedCell):
+            out.append([row.label] + ["FAILED"] * 8)
+            continue
         p = PAPER_TABLE2[row.name]
         out.append(
             [
@@ -409,7 +450,8 @@ def _compare_orders(
     else:
         payloads = [_orders_payload(p) for p in params]
     return [
-        _comparison_from_payload(f, csr_mode, payload)
+        _failed_cell(payload, name=g.name, factor=f)
+        or _comparison_from_payload(f, csr_mode, payload)
         for f, payload in zip(factors, payloads)
     ]
 
@@ -441,11 +483,15 @@ def format_order_comparison(
 ) -> str:
     """Tables 3/4-style rendering: approaches as rows, factors as columns."""
     headers = ["Approach"] + [f"uf={c.factor}" for c in cols]
+
+    def cell(c: "OrderComparison | FailedCell", attr: str, render=lambda v: v):
+        return "FAILED" if isinstance(c, FailedCell) else render(getattr(c, attr))
+
     rows: list[list[object]] = [
-        ["unfold-retime"] + [c.unfold_retime_size for c in cols],
-        ["retime-unfold"] + [c.retime_unfold_size for c in cols],
-        ["retime-unfold-CR"] + [c.csr_size for c in cols],
-        ["iteration period"] + [str(c.iteration_period) for c in cols],
+        ["unfold-retime"] + [cell(c, "unfold_retime_size") for c in cols],
+        ["retime-unfold"] + [cell(c, "retime_unfold_size") for c in cols],
+        ["retime-unfold-CR"] + [cell(c, "csr_size") for c in cols],
+        ["iteration period"] + [cell(c, "iteration_period", str) for c in cols],
     ]
     if paper is not None:
         for label in ("unfold-retime", "retime-unfold", "retime-unfold-CR"):

@@ -34,6 +34,7 @@ workload registry and hundreds of random programs.
 
 from __future__ import annotations
 
+import threading
 import weakref
 from typing import Callable
 
@@ -163,17 +164,28 @@ class CompiledProgram:
 
 
 _CACHE: dict[int, CompiledProgram] = {}
+_CACHE_LOCK = threading.Lock()
 
 
 def compile_program(program: LoopProgram) -> CompiledProgram:
-    """The compiled form of ``program``, cached per program object."""
+    """The compiled form of ``program``, cached per program object.
+
+    Thread-safe: concurrent calls on the same program compile it once
+    (double-checked under a lock), and the id-keyed entry is revalidated
+    against its weakref so a recycled ``id()`` after GC can never alias a
+    different program to a stale compilation.
+    """
     key = id(program)
     cached = _CACHE.get(key)
     if cached is not None and cached.program_ref() is program:
         return cached
-    compiled = CompiledProgram(program)
-    _CACHE[key] = compiled
-    weakref.finalize(program, _CACHE.pop, key, None)
+    with _CACHE_LOCK:
+        cached = _CACHE.get(key)
+        if cached is not None and cached.program_ref() is program:
+            return cached
+        compiled = CompiledProgram(program)
+        _CACHE[key] = compiled
+        weakref.finalize(program, _CACHE.pop, key, None)
     return compiled
 
 

@@ -8,11 +8,14 @@ on the serialized DFG, the transformation parameters and a digest of the
 library sources — so re-runs are incremental and a cache hit always means
 "same code, same input".
 
-See ``docs/RUNNER.md`` for the cache-key scheme and invalidation rules.
+See ``docs/RUNNER.md`` for the cache-key scheme and invalidation rules,
+and ``docs/RESILIENCE.md`` for fault injection, retry/backoff semantics
+and the FAILED-cell output contract.
 """
 
 from .cache import (
     CACHE_SCHEMA,
+    QUARANTINE_DIR,
     CacheStats,
     NullCache,
     ResultCache,
@@ -29,9 +32,30 @@ from .difftest import (
 )
 from .engine import EngineStats, ExperimentEngine, default_engine
 from .jobs import TRANSFORMS, Job, JobResult, execute_job, jobs_for_matrix
+from .resilience import (
+    FAULT_PLAN_ENV,
+    FAULT_SITES,
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+    JobOutcome,
+    JobTimeoutError,
+    RetryPolicy,
+    run_attempts,
+)
 
 __all__ = [
     "CACHE_SCHEMA",
+    "QUARANTINE_DIR",
+    "FAULT_PLAN_ENV",
+    "FAULT_SITES",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
+    "JobOutcome",
+    "JobTimeoutError",
+    "RetryPolicy",
+    "run_attempts",
     "CacheStats",
     "NullCache",
     "ResultCache",

@@ -10,9 +10,14 @@ is therefore always a replay of byte-identical code on byte-identical
 input.
 
 Entries are JSON envelopes ``{"key", "sha", "payload"}`` written atomically
-(temp file + rename).  A corrupted entry — truncated file, invalid JSON,
-key mismatch, or payload checksum mismatch — is *discarded and recomputed*,
-never returned: :meth:`ResultCache.get` deletes it and reports a miss.
+(temp file + rename).  A corrupted entry — truncated file, undecodable
+bytes, invalid JSON, key mismatch, or payload checksum mismatch — is
+*quarantined and recomputed*, never returned: :meth:`ResultCache.get`
+moves it into ``<root>/.quarantine/`` (for post-mortems) and reports a
+miss.  The :mod:`~repro.runner.resilience` fault sites ``cache.read``
+(corrupt the raw bytes before validation) and ``cache.write`` (crash
+between the temp write and the rename) are threaded through here; both
+hooks are single ``is None`` checks when no fault plan is active.
 """
 
 from __future__ import annotations
@@ -25,9 +30,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..observability import count
+from . import resilience
 
 __all__ = [
     "CACHE_SCHEMA",
+    "QUARANTINE_DIR",
     "CacheStats",
     "NullCache",
     "ResultCache",
@@ -41,6 +48,11 @@ CACHE_SCHEMA = 1
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Subdirectory (under the cache root) holding quarantined corrupt
+#: entries.  The ``.corrupt`` suffix keeps them out of ``*.json`` globs,
+#: so ``len(cache)`` and :meth:`ResultCache.clear` see live entries only.
+QUARANTINE_DIR = ".quarantine"
 
 _code_version: str | None = None
 
@@ -97,7 +109,8 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     puts: int = 0
-    discarded: int = 0  # corrupt entries deleted on read
+    discarded: int = 0  # corrupt entries quarantined on read
+    write_failures: int = 0  # stores that raised (crash-injected or real)
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -105,6 +118,7 @@ class CacheStats:
             "misses": self.misses,
             "puts": self.puts,
             "discarded": self.discarded,
+            "write_failures": self.write_failures,
         }
 
     def merge(self, delta: "CacheStats | dict") -> None:
@@ -115,6 +129,7 @@ class CacheStats:
         self.misses += delta.get("misses", 0)
         self.puts += delta.get("puts", 0)
         self.discarded += delta.get("discarded", 0)
+        self.write_failures += delta.get("write_failures", 0)
 
     @property
     def lookups(self) -> int:
@@ -149,21 +164,35 @@ class ResultCache:
     def get(self, key: str) -> dict | None:
         """Payload stored under ``key``; ``None`` (and a miss) otherwise.
 
-        A corrupted entry is unlinked and counted in ``stats.discarded``;
-        it is never returned.
+        A corrupted entry — including one holding undecodable bytes — is
+        quarantined and counted in ``stats.discarded``; it is never
+        returned and never crashes the read.
         """
         path = self._path(key)
+        raw: str | None
         try:
             raw = path.read_text()
         except OSError:
             self.stats.misses += 1
             count("cache.misses")
             return None
+        except UnicodeDecodeError:
+            # Binary garbage (torn write, disk rot): the entry exists but
+            # cannot even be decoded — treat it as corrupt, not fatal.
+            raw = None
+        if raw is not None:
+            raw = resilience.corrupt_point(key, raw)
         try:
+            if raw is None:
+                raise ValueError("undecodable entry")
             doc = json.loads(raw)
+            if not isinstance(doc, dict):
+                raise ValueError("malformed envelope")
             if doc["key"] != key:
                 raise ValueError("key mismatch")
             payload = doc["payload"]
+            if not isinstance(payload, dict):
+                raise ValueError("malformed payload")
             sha = hashlib.sha256(_canonical(payload).encode()).hexdigest()
             if doc["sha"] != sha:
                 raise ValueError("payload checksum mismatch")
@@ -172,17 +201,20 @@ class ResultCache:
             self.stats.misses += 1
             count("cache.misses")
             count("cache.corrupt_discarded")
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self._quarantine(path, key)
             return None
         self.stats.hits += 1
         count("cache.hits")
         return payload
 
     def put(self, key: str, payload: dict) -> None:
-        """Atomically store ``payload`` under ``key``."""
+        """Atomically store ``payload`` under ``key``.
+
+        Crash-safe: the envelope lands in a temp file first and is moved
+        over the final path with one atomic rename, so a reader can never
+        observe a half-written entry — a writer dying mid-store (the
+        ``cache.write`` fault site) leaves no live entry at all.
+        """
         body = _canonical(payload)
         doc = {
             "key": key,
@@ -195,6 +227,7 @@ class ResultCache:
         try:
             with os.fdopen(fd, "w") as fh:
                 json.dump(doc, fh)
+            resilience.fault_point("cache.write", key)
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -205,24 +238,76 @@ class ResultCache:
         self.stats.puts += 1
         count("cache.puts")
 
+    def put_safe(self, key: str, payload: dict) -> bool:
+        """:meth:`put` that degrades a failed store into a counter.
+
+        The engine uses this: a result that cannot be persisted (full
+        disk, injected writer crash) is still *returned* — the job
+        succeeded — and merely recomputed next run.
+        """
+        try:
+            self.put(key, payload)
+            return True
+        except Exception:
+            self.stats.write_failures += 1
+            count("cache.write_failures")
+            return False
+
     def get_or_compute(self, key: str, fn) -> dict:
-        """Cached payload for ``key``, computing and storing it on a miss."""
+        """Cached payload for ``key``, computing and storing it on a miss.
+
+        Storage is best-effort (:meth:`put_safe`): a store that fails
+        never loses the freshly computed payload.
+        """
         payload = self.get(key)
         if payload is None:
             payload = fn()
-            self.put(key, payload)
+            self.put_safe(key, payload)
         return payload
 
     # -- maintenance ---------------------------------------------------
 
+    def _quarantine(self, path: Path, key: str) -> None:
+        """Move a corrupt entry to ``<root>/.quarantine/<key>.corrupt``.
+
+        Keeping the bytes (instead of unlinking) preserves the evidence
+        for post-mortems; either way the entry leaves the live cache.
+        """
+        qdir = self.root / QUARANTINE_DIR
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, qdir / f"{key}.corrupt")
+            count("cache.quarantined")
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def quarantined_entries(self) -> list[Path]:
+        """Quarantined corrupt-entry files, oldest-name first."""
+        qdir = self.root / QUARANTINE_DIR
+        if not qdir.exists():
+            return []
+        return sorted(qdir.glob("*.corrupt"))
+
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every live entry; returns the number removed.
+
+        Quarantined files are purged too but not counted — they were
+        already removed from the cache when they were quarantined.
+        """
         removed = 0
         if self.root.exists():
             for path in self.root.rglob("*.json"):
                 try:
                     path.unlink()
                     removed += 1
+                except OSError:
+                    pass
+            for path in self.quarantined_entries():
+                try:
+                    path.unlink()
                 except OSError:
                     pass
         return removed
@@ -246,6 +331,9 @@ class NullCache:
 
     def put(self, key: str, payload: dict) -> None:
         pass
+
+    def put_safe(self, key: str, payload: dict) -> bool:
+        return True
 
     def get_or_compute(self, key: str, fn) -> dict:
         self.stats.misses += 1

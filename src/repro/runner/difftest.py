@@ -53,11 +53,17 @@ DIFFTEST_TRANSFORMS: tuple[str, ...] = (
 
 @dataclass(frozen=True)
 class SweepFailure:
-    """One failed check: which graph, which cell, what went wrong."""
+    """One failed check: which graph, which cell, what went wrong.
+
+    ``kind`` distinguishes in-band result errors (``"error"``), violated
+    theorem inequalities (``"inequality"``) and engine-level FAILED cells
+    — jobs whose retries were exhausted by crashes or deadlines
+    (``"failed"`` / ``"timed_out"``).
+    """
 
     seed: int
     label: str
-    kind: str  # "error" | "inequality"
+    kind: str  # "error" | "inequality" | "failed" | "timed_out"
     detail: str
 
 
@@ -138,12 +144,20 @@ def _check(result: JobResult, seed: int, report: SweepReport) -> None:
     payload = result.payload
     report.checks += 1
     if not result.ok:
+        detail = f"{payload.get('error_type')}: {payload.get('error')}"
+        if result.outcome is not None and result.outcome.status != "ok":
+            # An engine-level FAILED cell: the attempts themselves died.
+            # Surface the retry history alongside the final error.
+            detail += (
+                f" (attempts={result.outcome.attempts}, "
+                f"faults: {', '.join(result.outcome.faults) or 'none'})"
+            )
         report.failures.append(
             SweepFailure(
                 seed=seed,
                 label=result.job.label,
-                kind="error",
-                detail=f"{payload.get('error_type')}: {payload.get('error')}",
+                kind=result.status if result.status != "ok" else "error",
+                detail=detail,
             )
         )
         return

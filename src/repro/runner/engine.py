@@ -27,20 +27,30 @@ Worker functions must be importable (module-level) and take a single JSON
 dict — the pickling contract of ``multiprocessing``.  The engine never
 caches in-band failures (``payload["ok"] is False``), so a crashed cell is
 retried on the next run.
+
+Resilience (:mod:`repro.runner.resilience`): every executed unit of work
+goes through :func:`~repro.runner.resilience.run_attempts` — per-job retry
+with capped exponential backoff, per-attempt deadlines, and deterministic
+fault injection when a :class:`~repro.runner.resilience.FaultPlan` is
+active.  A job whose retries are exhausted degrades into a structured
+``FAILED`` payload instead of raising; :meth:`ExperimentEngine.failure_summary`
+renders the post-run report and the ``jobs.retried`` / ``jobs.timed_out``
+/ ``jobs.failed`` metrics surface through ``--stats``.
 """
 
 from __future__ import annotations
 
 import os
-import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from .. import observability
-from ..observability import span
+from ..observability import count, span
+from . import resilience
 from .cache import NullCache, ResultCache, cache_key
 from .jobs import Job, JobResult, execute_job
+from .resilience import FaultPlan, JobOutcome, RetryPolicy, run_attempts
 
 __all__ = ["EngineStats", "ExperimentEngine", "default_engine"]
 
@@ -48,17 +58,19 @@ __all__ = ["EngineStats", "ExperimentEngine", "default_engine"]
 def _pool_worker(task: tuple) -> dict:
     """Process-pool entry point: cached execution of one unit of work.
 
-    ``task`` is ``(fn, params, key, cache_root, obs_on)``.  The worker
-    owns the cache lookup/store for its unit and returns an envelope::
+    ``task`` is ``(fn, params, key, cache_root, obs_on, label, policy,
+    plan)``.  The worker owns the cache lookup/store and the retry loop
+    for its unit and returns an envelope::
 
-        {"payload", "cached", "wall", "cache_stats", "obs"?}
+        {"payload", "cached", "wall", "cache_stats", "outcome"?, "obs"?}
 
     ``cache_stats`` holds this call's hit/miss/put deltas (a fresh
     per-call :class:`ResultCache` starts at zero, so its stats *are* the
-    delta); ``obs`` carries serialized spans and metric deltas when the
-    parent had observability enabled.
+    delta); ``outcome`` is the executed unit's serialized
+    :class:`JobOutcome`; ``obs`` carries serialized spans and metric
+    deltas when the parent had observability enabled.
     """
-    fn, params, key, cache_root, obs_on = task
+    fn, params, key, cache_root, obs_on, label, policy_doc, plan_doc = task
     if obs_on:
         # A forked worker inherits the parent's collectors wholesale —
         # including the parent's still-open batch span and every metric
@@ -66,21 +78,28 @@ def _pool_worker(task: tuple) -> dict:
         # exported state is exactly this call's delta.
         observability.OBS.reset()
         observability.enable()
+    # Same inheritance hazard for the fault plan: a forked worker carries
+    # the parent plan's occurrence counters.  Install a fresh instance
+    # per task (counters are per-(site, label), and labels are unique, so
+    # fresh-per-task equals one shared serial instance).
+    if plan_doc is not None:
+        resilience.activate(FaultPlan.from_dict(plan_doc))
+    else:
+        resilience.deactivate()
+    policy = RetryPolicy.from_dict(policy_doc) if policy_doc else None
     cache = ResultCache(cache_root) if cache_root is not None else NullCache()
     payload = cache.get(key)
     if payload is not None:
         envelope = {"payload": payload, "cached": True, "wall": 0.0}
     else:
-        start = time.perf_counter()
-        payload = fn(params)
-        wall = time.perf_counter() - start
-        t = payload.pop("compute_time", None)
+        payload, outcome, wall = run_attempts(fn, params, label, policy)
         if payload.get("ok", True):
-            cache.put(key, payload)
+            cache.put_safe(key, payload)
         envelope = {
             "payload": payload,
             "cached": False,
-            "wall": t if t is not None else wall,
+            "wall": wall,
+            "outcome": outcome.as_dict(),
         }
     envelope["cache_stats"] = cache.stats.as_dict()
     if obs_on:
@@ -95,10 +114,14 @@ class EngineStats:
     calls: int = 0  # units of work requested
     computed: int = 0  # executed (cache misses)
     errors: int = 0  # in-band failures (payload["ok"] is False)
+    retried: int = 0  # extra attempts beyond each unit's first
+    timed_out: int = 0  # units whose attempts exhausted on deadlines
+    failed: int = 0  # units whose attempts exhausted on crashes
     wall_time: float = 0.0  # sum of per-call compute time
     vm_executed: int = 0  # VM compute instructions executed
     vm_disabled: int = 0  # guarded computes whose predicate was off
     job_times: list[tuple[str, float]] = field(default_factory=list)
+    outcomes: list[JobOutcome] = field(default_factory=list)
 
     def record(self, label: str, payload: dict, wall: float, cached: bool) -> None:
         self.calls += 1
@@ -110,6 +133,14 @@ class EngineStats:
             self.errors += 1
         self.vm_executed += payload.get("executed", 0) or 0
         self.vm_disabled += payload.get("disabled", 0) or 0
+
+    @property
+    def completed(self) -> int:
+        """Units that ran to completion (including in-band errors)."""
+        return self.calls - self.failed - self.timed_out
+
+    def failed_outcomes(self) -> list[JobOutcome]:
+        return [o for o in self.outcomes if o.status != "ok"]
 
 
 class ExperimentEngine:
@@ -123,12 +154,19 @@ class ExperimentEngine:
     cache:
         A :class:`ResultCache`, a directory path for one, or ``None`` for
         no caching (:class:`NullCache`).
+    retry:
+        A :class:`RetryPolicy`; ``None`` uses the defaults (3 attempts,
+        20 ms base backoff, no deadline).  Fault injection is governed
+        separately by the process-global plan
+        (:func:`repro.runner.resilience.activate`), which the engine
+        forwards to its pool workers.
     """
 
     def __init__(
         self,
         jobs: int | None = 1,
         cache: ResultCache | NullCache | Path | str | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         if jobs is None or jobs <= 0:
             jobs = os.cpu_count() or 1
@@ -139,6 +177,7 @@ class ExperimentEngine:
             self.cache = cache
         else:
             self.cache = ResultCache(cache)
+        self.retry = retry if retry is not None else RetryPolicy()
         self.stats = EngineStats()
 
     # -- generic memoized fan-out --------------------------------------
@@ -158,7 +197,7 @@ class ExperimentEngine:
         ``"compute_time"`` payload key (popped before caching); otherwise
         the engine's measurement is used.
         """
-        return [p for p, _, _ in self._map_detailed(kind, fn, params_list, labels)]
+        return [p for p, _, _, _ in self._map_detailed(kind, fn, params_list, labels)]
 
     def _map_detailed(
         self,
@@ -166,8 +205,12 @@ class ExperimentEngine:
         fn,
         params_list: list[dict],
         labels: list[str] | None = None,
-    ) -> list[tuple[dict, bool, float]]:
-        """:meth:`map_cached` returning ``(payload, cached, wall_time)``."""
+    ) -> list[tuple[dict, bool, float, JobOutcome | None]]:
+        """:meth:`map_cached` returning ``(payload, cached, wall, outcome)``.
+
+        ``outcome`` is ``None`` for cache hits — only executed units have
+        an attempt history.
+        """
         labels = labels or [f"{kind}#{i}" for i in range(len(params_list))]
         keys = [cache_key(kind, p) for p in params_list]
         with span("engine.map", kind=kind, calls=len(params_list)) as sp:
@@ -175,46 +218,60 @@ class ExperimentEngine:
                 out = self._map_parallel(fn, params_list, keys, labels)
             else:
                 out = self._map_serial(fn, params_list, keys, labels)
-            sp.set(computed=sum(1 for _, cached, _ in out if not cached))
+            sp.set(computed=sum(1 for _, cached, _, _ in out if not cached))
         return out
+
+    def _absorb_outcome(self, outcome: JobOutcome) -> None:
+        """Fold one executed unit's attempt history into the run totals."""
+        s = self.stats
+        s.outcomes.append(outcome)
+        if outcome.retried:
+            s.retried += outcome.retried
+            count("jobs.retried", outcome.retried)
+        if outcome.status == "timed_out":
+            s.timed_out += 1
+            count("jobs.timed_out")
+        elif outcome.status == "failed":
+            s.failed += 1
+            count("jobs.failed")
 
     def _map_serial(
         self, fn, params_list: list[dict], keys: list[str], labels: list[str]
-    ) -> list[tuple[dict, bool, float]]:
+    ) -> list[tuple[dict, bool, float, JobOutcome | None]]:
         """Inline execution: the parent owns cache lookups and stores."""
-        out: list[tuple[dict, bool, float]] = []
+        out: list[tuple[dict, bool, float, JobOutcome | None]] = []
         for params, key, label in zip(params_list, keys, labels):
             payload = self.cache.get(key)
             if payload is not None:
                 self.stats.record(label, payload, 0.0, cached=True)
-                out.append((payload, True, 0.0))
+                out.append((payload, True, 0.0, None))
                 continue
-            start = time.perf_counter()
-            payload = fn(params)
-            wall = time.perf_counter() - start
-            t = payload.pop("compute_time", None)
-            wall = t if t is not None else wall
+            payload, outcome, wall = run_attempts(fn, params, label, self.retry)
             if payload.get("ok", True):
-                self.cache.put(key, payload)
+                self.cache.put_safe(key, payload)
+            self._absorb_outcome(outcome)
             self.stats.record(label, payload, wall, cached=False)
-            out.append((payload, False, wall))
+            out.append((payload, False, wall, outcome))
         return out
 
     def _map_parallel(
         self, fn, params_list: list[dict], keys: list[str], labels: list[str]
-    ) -> list[tuple[dict, bool, float]]:
+    ) -> list[tuple[dict, bool, float, JobOutcome | None]]:
         """Pool execution: workers own cache I/O and ship deltas home."""
         root = getattr(self.cache, "root", None)
         cache_root = str(root) if root is not None else None
         obs_on = observability.OBS.enabled
+        plan = resilience.active_plan()
+        plan_doc = plan.as_dict() if plan is not None else None
+        policy_doc = self.retry.as_dict()
         tasks = [
-            (fn, params, key, cache_root, obs_on)
-            for params, key in zip(params_list, keys)
+            (fn, params, key, cache_root, obs_on, label, policy_doc, plan_doc)
+            for params, key, label in zip(params_list, keys, labels)
         ]
         workers = min(self.jobs, len(tasks))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             envelopes = list(pool.map(_pool_worker, tasks))
-        out: list[tuple[dict, bool, float]] = []
+        out: list[tuple[dict, bool, float, JobOutcome | None]] = []
         for label, envelope in zip(labels, envelopes):
             # Fleet-wide accounting: merge the worker's per-call deltas.
             self.cache.stats.merge(envelope["cache_stats"])
@@ -222,8 +279,12 @@ class ExperimentEngine:
             payload = envelope["payload"]
             cached = envelope["cached"]
             wall = envelope["wall"]
+            outcome = None
+            if envelope.get("outcome") is not None:
+                outcome = JobOutcome.from_dict(envelope["outcome"])
+                self._absorb_outcome(outcome)
             self.stats.record(label, payload, wall, cached=cached)
-            out.append((payload, cached, wall))
+            out.append((payload, cached, wall, outcome))
         return out
 
     def call_cached(self, kind: str, fn, params: dict, label: str | None = None) -> dict:
@@ -238,8 +299,14 @@ class ExperimentEngine:
         labels = [j.label for j in jobs]
         detailed = self._map_detailed("job", execute_job, params, labels)
         return [
-            JobResult(job=job, payload=payload, cached=cached, wall_time=wall)
-            for job, (payload, cached, wall) in zip(jobs, detailed)
+            JobResult(
+                job=job,
+                payload=payload,
+                cached=cached,
+                wall_time=wall,
+                outcome=outcome,
+            )
+            for job, (payload, cached, wall, outcome) in zip(jobs, detailed)
         ]
 
     # -- reporting -----------------------------------------------------
@@ -255,7 +322,11 @@ class ExperimentEngine:
             f"{s.calls - s.computed} from cache, {s.errors} failed",
             f"cache       : {c.hits} hits / {c.misses} misses "
             f"({100.0 * c.hit_rate:.1f}% hit rate), "
-            f"{c.puts} stored, {c.discarded} corrupt discarded",
+            f"{c.puts} stored, {c.discarded} corrupt quarantined, "
+            f"{c.write_failures} write failures",
+            f"resilience  : {s.retried} jobs.retried, "
+            f"{s.timed_out} jobs.timed_out, {s.failed} jobs.failed "
+            f"(max {self.retry.max_attempts} attempts/job)",
             f"compute time: {s.wall_time:.3f}s total",
             f"vm          : {s.vm_executed} computes executed, "
             f"{s.vm_disabled} disabled",
@@ -263,6 +334,29 @@ class ExperimentEngine:
         if s.job_times:
             slowest = max(s.job_times, key=lambda kv: kv[1])
             lines.append(f"slowest     : {slowest[0]} ({slowest[1]:.3f}s)")
+        return "\n".join(lines)
+
+    def failure_summary(self) -> str | None:
+        """Structured report of units that exhausted their retries.
+
+        ``None`` when everything completed — callers print this (and exit
+        non-zero) only on degraded runs.
+        """
+        failed = self.stats.failed_outcomes()
+        if not failed:
+            return None
+        lines = [
+            f"{len(failed)} unit(s) FAILED after retries "
+            f"(of {self.stats.calls} requested):"
+        ]
+        for o in failed[:20]:
+            faults = ", ".join(o.faults) or "none"
+            lines.append(
+                f"  [{o.status}] {o.label}: {o.error} "
+                f"(attempts={o.attempts}, faults: {faults})"
+            )
+        if len(failed) > 20:
+            lines.append(f"  ... and {len(failed) - 20} more")
         return "\n".join(lines)
 
     def publish_metrics(self) -> None:
@@ -286,16 +380,24 @@ class ExperimentEngine:
         m.gauge("engine.wall_time_seconds", "total compute wall time").set(
             s.wall_time
         )
+        m.gauge("jobs.retried", "extra attempts beyond each unit's first").set(
+            s.retried
+        )
+        m.gauge("jobs.timed_out", "units exhausted on deadlines").set(s.timed_out)
+        m.gauge("jobs.failed", "units exhausted on crashes").set(s.failed)
 
 
 def default_engine(
     jobs: int = 1,
     cache: bool = True,
     cache_dir: Path | str | None = None,
+    retry: RetryPolicy | None = None,
 ) -> ExperimentEngine:
     """Engine with the conventional CLI defaults (on-disk cache enabled)."""
     if not cache:
-        return ExperimentEngine(jobs=jobs, cache=None)
+        return ExperimentEngine(jobs=jobs, cache=None, retry=retry)
     return ExperimentEngine(
-        jobs=jobs, cache=ResultCache(cache_dir) if cache_dir else ResultCache()
+        jobs=jobs,
+        cache=ResultCache(cache_dir) if cache_dir else ResultCache(),
+        retry=retry,
     )

@@ -15,6 +15,7 @@ in the payload; CSR forms run at the requested trip count exactly.
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass
 
@@ -35,6 +36,7 @@ from ..observability import span
 from ..retiming.optimal import minimize_cycle_period
 from ..unfolding.orders import retime_unfold, unfold_retime
 from ..workloads.registry import get_workload
+from .resilience import JobOutcome
 
 __all__ = ["Job", "JobResult", "TRANSFORMS", "execute_job", "jobs_for_matrix"]
 
@@ -103,18 +105,37 @@ class Job:
 
     @property
     def label(self) -> str:
-        name = self.workload or "dfg"
-        return f"{name}/{self.transform}/f={self.factor}/n={self.trip_count}"
+        """Unique display name for this cell.
+
+        Uniqueness within a run matters beyond readability: the
+        resilience layer's fault-occurrence counters are keyed per
+        ``(site, label)``, so two distinct jobs sharing a label would
+        see partition-dependent fault sequences.  Explicit-graph jobs
+        therefore use the serialized graph's own name, not a generic
+        placeholder.
+        """
+        name = self.workload
+        if name is None and self.graph_json is not None:
+            try:
+                name = json.loads(self.graph_json).get("name")
+            except ValueError:
+                name = None
+        return f"{name or 'dfg'}/{self.transform}/f={self.factor}/n={self.trip_count}"
 
 
 @dataclass
 class JobResult:
-    """One job's payload plus engine-side bookkeeping."""
+    """One job's payload plus engine-side bookkeeping.
+
+    ``outcome`` carries the resilience record (attempts, fault history,
+    final status) for executed jobs; cache hits have none.
+    """
 
     job: Job
     payload: dict
     cached: bool = False
     wall_time: float = 0.0
+    outcome: JobOutcome | None = None
 
     @property
     def ok(self) -> bool:
@@ -123,6 +144,15 @@ class JobResult:
     @property
     def error(self) -> str | None:
         return self.payload.get("error")
+
+    @property
+    def status(self) -> str:
+        """``ok`` | ``error`` (in-band) | ``failed`` / ``timed_out``
+        (engine-level, after retry exhaustion) — the FAILED-cell contract
+        reports use to distinguish bad results from broken execution."""
+        if self.outcome is not None and self.outcome.status != "ok":
+            return self.outcome.status
+        return "ok" if self.ok else "error"
 
 
 def _program_for(job_graph: DFG, transform: str, f: int, n: int):

@@ -9,6 +9,7 @@ from hypothesis import strategies as st
 
 from repro.graph import DFG, OpKind
 from repro.graph.generators import random_dfg
+from repro.runner import resilience
 from repro.workloads import (
     benchmark_graphs,
     figure1,
@@ -17,6 +18,14 @@ from repro.workloads import (
     figure8,
     get_workload,
 )
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_fault_plan():
+    """A test that activates a fault plan must not leak it into the next
+    test — the global is process state, like the observability singleton."""
+    yield
+    resilience.deactivate()
 
 
 # ----------------------------------------------------------------------

@@ -177,6 +177,93 @@ class TestCompileCache:
         assert c2.program_ref() is p2
 
 
+class TestCompileCacheConcurrency:
+    """The id-keyed cache under threads: single-compilation semantics and
+    no cross-thread aliasing after GC recycles an id."""
+
+    def test_concurrent_compile_is_single_compilation(self, fig8):
+        """N threads racing on one uncached program must all receive the
+        same CompiledProgram object and leave exactly one cache entry."""
+        import threading
+
+        p = original_loop(fig8)
+        _CACHE.pop(id(p), None)
+        nthreads = 8
+        barrier = threading.Barrier(nthreads)
+        results: list[object] = [None] * nthreads
+        errors: list[BaseException] = []
+
+        def worker(slot: int) -> None:
+            try:
+                barrier.wait()
+                results[slot] = compile_program(p)
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(nthreads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors
+        first = results[0]
+        assert all(r is first for r in results)
+        assert _CACHE[id(p)] is first
+
+    def test_concurrent_distinct_programs_do_not_cross_alias(self, fig8):
+        """Threads compiling different programs concurrently each get a
+        compilation bound to their own program."""
+        import threading
+
+        programs = [original_loop(fig8) for _ in range(6)]
+        barrier = threading.Barrier(len(programs))
+        compiled: dict[int, object] = {}
+        errors: list[BaseException] = []
+
+        def worker(slot: int) -> None:
+            try:
+                barrier.wait()
+                compiled[slot] = compile_program(programs[slot])
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(len(programs))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors
+        for slot, program in enumerate(programs):
+            assert compiled[slot].program_ref() is program
+        assert len({id(c) for c in compiled.values()}) == len(programs)
+
+    def test_gc_id_reuse_recompiles_for_new_program(self, fig8):
+        """Compile, keep the compilation alive, drop the program, collect,
+        then allocate new programs: whichever lands on the recycled id must
+        get a fresh compilation, never the kept-alive stale one."""
+        p1 = original_loop(fig8)
+        c1 = compile_program(p1)
+        old_id = id(p1)
+        del p1
+        gc.collect()
+        assert old_id not in _CACHE  # finalize purged the dead entry
+        # Churn allocations until one reuses the id (usually immediate in
+        # CPython); either way the guard must hold for every new program.
+        for _ in range(50):
+            p2 = original_loop(fig8)
+            c2 = compile_program(p2)
+            assert c2 is not c1
+            assert c2.program_ref() is p2
+            if id(p2) == old_id:
+                break
+            del p2
+            gc.collect()
+
+
 class TestWorkloadSweep:
     """Every registry workload, original + pipelined, at several trip
     counts — the in-suite slice of the full differential sweep."""

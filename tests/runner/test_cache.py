@@ -160,6 +160,41 @@ class TestCacheStore:
         again.pop("compute_time", None)
         assert again == good
 
+    def test_binary_garbage_entry_is_quarantined_not_fatal(self, tmp_path):
+        """A cache file holding undecodable bytes (torn write, disk rot)
+        must behave like any other corruption: miss + quarantine, never a
+        UnicodeDecodeError escaping ``get``."""
+        cache = ResultCache(tmp_path)
+        key = "cd" * 32
+        cache.put(key, {"ok": True, "x": 1})
+        path = cache._path(key)
+        path.write_bytes(b"\xff\xfe\x00garbage\x80\x81")
+
+        assert cache.get(key) is None  # regression: used to raise
+        assert cache.stats.discarded == 1
+        assert cache.stats.misses == 1
+        assert not path.exists()
+        quarantined = cache.quarantined_entries()
+        assert [p.name for p in quarantined] == [f"{key}.corrupt"]
+        assert quarantined[0].read_bytes().startswith(b"\xff\xfe")
+
+    def test_quarantine_preserves_evidence_and_live_counts(self, tmp_path):
+        """Quarantined files leave the live cache (len, clear) but keep
+        their bytes for post-mortems until clear() purges them."""
+        cache = ResultCache(tmp_path)
+        good_key, bad_key = "ab" * 32, "ba" * 32
+        cache.put(good_key, {"ok": True})
+        cache.put(bad_key, {"ok": True})
+        cache._path(bad_key).write_text("}{ not json")
+
+        assert cache.get(bad_key) is None
+        assert len(cache) == 1  # the corrupt entry is out of the live set
+        assert cache.get(good_key) == {"ok": True}
+        assert len(cache.quarantined_entries()) == 1
+        # clear() counts only the live entry but purges quarantine too.
+        assert cache.clear() == 1
+        assert cache.quarantined_entries() == []
+
     def test_atomic_envelope_roundtrip(self, tmp_path):
         cache = ResultCache(tmp_path)
         payload = {"ok": True, "nested": {"a": [1, 2, 3]}, "pi": 3.5}

@@ -134,6 +134,7 @@ class TestCrossProcessStats:
             "misses": len(self.JOBS),
             "puts": len(self.JOBS),
             "discarded": 0,
+            "write_failures": 0,
         }
 
     def test_warm_parallel_run_pins_aggregate_hits(self, tmp_path):

@@ -1,0 +1,141 @@
+"""Property-based resilience tests: random fault plans vs. random matrices.
+
+The invariants that must hold for *every* plan, however hostile:
+
+* the engine never deadlocks and never raises out of ``map_cached``;
+* no unit of work is lost — one payload per submitted params dict, in
+  submission order;
+* the accounting always balances: ``completed + failed + timed_out ==
+  submitted`` and every non-ok unit carries a structured failure payload.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runner import (
+    ExperimentEngine,
+    FaultPlan,
+    FaultSpec,
+    ResultCache,
+    RetryPolicy,
+    resilience,
+)
+from repro.runner.resilience import FAULT_SITES
+
+FAST = RetryPolicy(max_attempts=3, backoff=0.0)
+
+
+def _work(params: dict) -> dict:
+    # Branch on the input so payloads are distinguishable and some runs
+    # exercise the in-band error path too.
+    if params["x"] % 7 == 6:
+        return {"ok": False, "error": "deterministic in-band error"}
+    return {"ok": True, "y": params["x"] * params["x"] + 1}
+
+
+@st.composite
+def fault_plans(draw) -> FaultPlan:
+    """Random plans: 0-4 rules over every site, mixed budgets and coins."""
+    rng = random.Random(draw(st.integers(0, 2**32 - 1)))
+    n_rules = rng.randint(0, 4)
+    faults = [
+        FaultSpec(
+            site=rng.choice(FAULT_SITES),
+            match=rng.choice(["*", "work#*", "work#1", "work#[0-4]", "nope*"]),
+            times=rng.choice([0, 1, 2, 5]),
+            prob=rng.choice([0.0, 0.3, 0.7, 1.0]),
+        )
+        for _ in range(n_rules)
+    ]
+    return FaultPlan(faults, seed=rng.randint(0, 1000))
+
+
+class TestNoJobIsEverLost:
+    @given(plan=fault_plans(), n_jobs=st.integers(1, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_accounting_balances_serial(self, plan, n_jobs):
+        params = [{"x": i} for i in range(n_jobs)]
+        engine = ExperimentEngine(jobs=1, cache=None, retry=FAST)
+        with resilience.activated(plan):
+            out = engine.map_cached("work", _work, params)
+
+        # Never lost, never reordered: one payload per submitted unit.
+        assert len(out) == n_jobs
+        s = engine.stats
+        assert s.calls == n_jobs
+        assert s.completed + s.failed + s.timed_out == n_jobs
+        assert len(s.outcomes) == n_jobs  # no cache: every unit executed
+        # Every degraded unit shows up as a structured failure payload,
+        # every completed one as the deterministic fn result.
+        for i, payload in enumerate(out):
+            if payload.get("failed"):
+                assert payload["status"] in ("failed", "timed_out")
+                assert payload["error"]
+            else:
+                assert payload == _work({"x": i})
+        n_failed = sum(1 for p in out if p.get("failed"))
+        assert n_failed == s.failed + s.timed_out
+        # Retry totals agree with the per-unit records.
+        assert s.retried == sum(o.retried for o in s.outcomes)
+
+    @given(plan=fault_plans(), n_jobs=st.integers(1, 10))
+    @settings(max_examples=15, deadline=None)
+    def test_accounting_balances_with_cache(self, plan, n_jobs, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("resilience-prop")
+        params = [{"x": i} for i in range(n_jobs)]
+        engine = ExperimentEngine(jobs=1, cache=ResultCache(tmp), retry=FAST)
+        with resilience.activated(plan):
+            out = engine.map_cached("work", _work, params)
+        assert len(out) == n_jobs
+        s = engine.stats
+        assert s.completed + s.failed + s.timed_out == n_jobs
+        # A degraded warm run still answers every unit.
+        warm = ExperimentEngine(jobs=1, cache=ResultCache(tmp), retry=FAST)
+        with resilience.activated(FaultPlan.from_dict(plan.as_dict())):
+            out2 = warm.map_cached("work", _work, params)
+        assert len(out2) == n_jobs
+        ws = warm.stats
+        assert ws.completed + ws.failed + ws.timed_out == n_jobs
+
+    def test_accounting_balances_parallel_hostile_plan(self):
+        """A fixed hostile plan through a real process pool: still no lost
+        jobs, still balanced books, bit-identical to the serial run."""
+        plan_doc = {
+            "seed": 5,
+            "faults": [
+                {"site": "job.start", "match": "work#[0-3]", "times": 1},
+                {"site": "job.timeout", "match": "work#5", "times": 0},
+                {"site": "cache.write", "match": "*", "times": 2},
+            ],
+        }
+        params = [{"x": i} for i in range(8)]
+
+        def run(jobs_n):
+            engine = ExperimentEngine(jobs=jobs_n, cache=None, retry=FAST)
+            with resilience.activated(FaultPlan.from_dict(plan_doc)):
+                out = engine.map_cached("work", _work, params)
+            return out, engine.stats
+
+        serial_out, serial_stats = run(1)
+        parallel_out, parallel_stats = run(2)
+        assert parallel_out == serial_out
+        for s in (serial_stats, parallel_stats):
+            assert s.calls == len(params)
+            assert s.completed + s.failed + s.timed_out == len(params)
+            assert s.timed_out == 1  # work#5 can never finish
+            assert s.failed == 0  # the crash-once jobs all recovered
+        assert parallel_stats.retried == serial_stats.retried
+
+    def test_unrecoverable_everything_still_returns_everything(self):
+        plan = FaultPlan([FaultSpec("job.start", "*", times=0)])
+        params = [{"x": i} for i in range(5)]
+        engine = ExperimentEngine(jobs=1, cache=None, retry=FAST)
+        with resilience.activated(plan):
+            out = engine.map_cached("work", _work, params)
+        assert len(out) == 5
+        assert all(p["failed"] for p in out)
+        assert engine.stats.failed == 5 and engine.stats.completed == 0
