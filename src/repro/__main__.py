@@ -20,16 +20,18 @@ from __future__ import annotations
 
 import argparse
 import sys
-from pathlib import Path
 
 from . import observability
 from .analysis.__main__ import (
     add_engine_arguments,
+    checkpoint_from_args,
     engine_from_args,
     export_observability,
-    print_tables,
     report_resilience,
+    tables_main,
 )
+from .ioutil import atomic_write_text
+from .runner.journal import JournalError
 from .codegen import emit_c, format_program, original_loop
 from .core import (
     assert_equivalent,
@@ -156,25 +158,37 @@ def _cmd_json(args) -> int:
 
 
 def _cmd_tables(args) -> int:
-    engine = engine_from_args(args)
-    print_tables(set(args.tables) or {"1", "2", "3", "4"}, engine)
-    if args.stats:
-        print("=== Engine stats ===")
-        print(engine.stats_summary())
-    export_observability(args, engine)
-    return 1 if report_resilience(args, engine) else 0
+    return tables_main(args)
 
 
 def _cmd_sweep(args) -> int:
-    """Randomized differential sweep through the experiment engine."""
+    """Randomized differential sweep through the experiment engine.
+
+    Checkpoint-aware: ``--journal DIR`` makes every job's completion a
+    durable write-ahead record; ``--resume DIR`` restores the recorded
+    sweep parameters, rehydrates completed jobs from the journal, and
+    re-executes only the pending ones — producing output bit-identical
+    to an uninterrupted run.
+    """
     from .runner.difftest import differential_sweep
 
     engine = engine_from_args(args)
+    checkpoint = checkpoint_from_args(args)
+    config = {
+        "graphs": args.graphs,
+        "seed": args.seed,
+        "factors": list(args.factors),
+        "max_nodes": args.max_nodes,
+    }
+    if checkpoint is not None:
+        if checkpoint.resume:
+            config = checkpoint.restore_config("sweep")
+        checkpoint.attach(engine, "sweep", config)
     report = differential_sweep(
-        num_graphs=args.graphs,
-        seed=args.seed,
-        factors=tuple(args.factors),
-        max_nodes=args.max_nodes,
+        num_graphs=config["graphs"],
+        seed=config["seed"],
+        factors=tuple(config["factors"]),
+        max_nodes=config["max_nodes"],
         engine=engine,
     )
     print(report.summary())
@@ -183,7 +197,10 @@ def _cmd_sweep(args) -> int:
         print(engine.stats_summary())
     export_observability(args, engine)
     degraded = report_resilience(args, engine)
-    return 0 if report.ok and not degraded else 1
+    ok = report.ok and not degraded
+    if checkpoint is not None:
+        checkpoint.finish(engine, "ok" if ok else "degraded")
+    return 0 if ok else 1
 
 
 def _cmd_profile(args) -> int:
@@ -229,11 +246,11 @@ def _cmd_profile(args) -> int:
             "(open in chrome://tracing or ui.perfetto.dev)"
         )
     if args.metrics_out:
-        Path(args.metrics_out).write_text(observability.OBS.metrics.to_json())
+        atomic_write_text(args.metrics_out, observability.OBS.metrics.to_json())
         print(f"wrote metrics JSON: {args.metrics_out}")
     if args.prometheus_out:
-        Path(args.prometheus_out).write_text(
-            observability.OBS.metrics.to_prometheus()
+        atomic_write_text(
+            args.prometheus_out, observability.OBS.metrics.to_prometheus()
         )
         print(f"wrote Prometheus metrics: {args.prometheus_out}")
     return 0
@@ -342,6 +359,11 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
+    except JournalError as exc:
+        # A bad --resume target (missing, corrupt, or wrong-command
+        # journal) is an operator error: one clear line, no traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except BrokenPipeError:
         # stdout went away (e.g. piped into `head`); exit quietly like a
         # well-behaved unix tool.

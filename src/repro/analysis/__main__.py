@@ -21,11 +21,12 @@ import argparse
 import json
 import os
 import sys
-from pathlib import Path
 
 from .. import observability
+from ..ioutil import atomic_write_text
 from ..runner import resilience
 from ..runner.engine import ExperimentEngine, default_engine
+from ..runner.journal import JournalError, RunCheckpoint
 from ..runner.resilience import FaultPlan, RetryPolicy
 from .experiments import (
     PAPER_TABLE3,
@@ -123,6 +124,35 @@ def add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="FILE",
         help="write per-job outcome records (status, attempts, faults) as JSON",
     )
+    cgroup = parser.add_argument_group("checkpointing")
+    cgroup.add_argument(
+        "--journal",
+        default=None,
+        metavar="DIR",
+        help="record a durable run journal into DIR (fsync'd write-ahead "
+        "JSONL; see docs/CHECKPOINTING.md)",
+    )
+    cgroup.add_argument(
+        "--resume",
+        default=None,
+        metavar="DIR",
+        help="resume an interrupted run from DIR's journal: completed jobs "
+        "are rehydrated, only pending ones re-execute",
+    )
+    cgroup.add_argument(
+        "--supervised",
+        action="store_true",
+        help="run parallel work in the supervised process pool: dead or "
+        "hung workers are respawned and their jobs requeued",
+    )
+    cgroup.add_argument(
+        "--worker-heartbeat-timeout",
+        type=float,
+        default=30.0,
+        metavar="SEC",
+        help="heartbeat silence before a supervised worker is declared "
+        "hung and replaced (default 30)",
+    )
 
 
 def engine_from_args(args: argparse.Namespace) -> ExperimentEngine:
@@ -150,8 +180,34 @@ def engine_from_args(args: argparse.Namespace) -> ExperimentEngine:
             timeout=timeout,
         )
     return default_engine(
-        jobs=args.jobs, cache=not args.no_cache, cache_dir=args.cache_dir, retry=retry
+        jobs=args.jobs,
+        cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        retry=retry,
+        supervised=getattr(args, "supervised", False),
+        heartbeat_timeout=getattr(args, "worker_heartbeat_timeout", 30.0),
     )
+
+
+def checkpoint_from_args(args: argparse.Namespace) -> RunCheckpoint | None:
+    """The ``--journal`` / ``--resume`` checkpoint, if either was given.
+
+    ``--resume DIR`` implies journaling into the same directory (the
+    resumed run appends to the journal it replays), so the two flags are
+    mutually exclusive.
+    """
+    journal_dir = getattr(args, "journal", None)
+    resume_dir = getattr(args, "resume", None)
+    if journal_dir and resume_dir:
+        raise SystemExit(
+            "error: --journal and --resume are mutually exclusive "
+            "(--resume already appends to the journal it replays)"
+        )
+    if resume_dir:
+        return RunCheckpoint(resume_dir, resume=True)
+    if journal_dir:
+        return RunCheckpoint(journal_dir)
+    return None
 
 
 def export_observability(args: argparse.Namespace, engine: ExperimentEngine) -> None:
@@ -165,7 +221,7 @@ def export_observability(args: argparse.Namespace, engine: ExperimentEngine) -> 
         observability.write_chrome_trace(trace_path, observability.OBS.tracer.roots)
         print(f"wrote Chrome trace: {trace_path}", file=sys.stderr)
     if metrics_path:
-        Path(metrics_path).write_text(observability.OBS.metrics.to_json())
+        atomic_write_text(metrics_path, observability.OBS.metrics.to_json())
         print(f"wrote metrics JSON: {metrics_path}", file=sys.stderr)
 
 
@@ -188,10 +244,14 @@ def report_resilience(args: argparse.Namespace, engine: ExperimentEngine) -> int
                 "retried": s.retried,
                 "timed_out": s.timed_out,
                 "failed": s.failed,
+                "resumed": s.resumed,
+                "respawned": s.respawned,
             },
             "outcomes": [o.as_dict() for o in s.outcomes],
         }
-        Path(outcomes_path).write_text(json.dumps(doc, indent=2))
+        # Atomic (temp file + rename): an interrupt mid-report can never
+        # leave a truncated, unparseable artifact behind.
+        atomic_write_text(outcomes_path, json.dumps(doc, indent=2))
         print(f"wrote job outcomes JSON: {outcomes_path}", file=sys.stderr)
     summary = engine.failure_summary()
     if summary:
@@ -219,20 +279,42 @@ def print_tables(wanted: set[str], engine: ExperimentEngine) -> None:
         print()
 
 
+def tables_main(args: argparse.Namespace) -> int:
+    """The full tables flow shared by both CLI entry points.
+
+    Checkpoint-aware: ``--journal DIR`` records every row durably;
+    ``--resume DIR`` restores the recorded table selection, rehydrates
+    completed rows from the journal, and recomputes only the rest.
+    """
+    engine = engine_from_args(args)
+    checkpoint = checkpoint_from_args(args)
+    wanted = set(args.tables) or {"1", "2", "3", "4"}
+    if checkpoint is not None:
+        if checkpoint.resume:
+            wanted = set(checkpoint.restore_config("tables")["tables"])
+        checkpoint.attach(engine, "tables", {"tables": sorted(wanted)})
+    print_tables(wanted, engine)
+    if args.stats:
+        print("=== Engine stats ===")
+        print(engine.stats_summary())
+    export_observability(args, engine)
+    degraded = report_resilience(args, engine)
+    if checkpoint is not None:
+        checkpoint.finish(engine, "degraded" if degraded else "ok")
+    return 1 if degraded else 0
+
+
 def main(argv: list[str]) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     bad = [t for t in args.tables if t not in {"1", "2", "3", "4"}]
     if bad:
         parser.error(f"unknown table(s): {' '.join(bad)} (choose from 1 2 3 4)")
-    engine = engine_from_args(args)
-    wanted = set(args.tables) or {"1", "2", "3", "4"}
-    print_tables(wanted, engine)
-    if args.stats:
-        print("=== Engine stats ===")
-        print(engine.stats_summary())
-    export_observability(args, engine)
-    return 1 if report_resilience(args, engine) else 0
+    try:
+        return tables_main(args)
+    except JournalError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

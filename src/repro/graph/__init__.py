@@ -18,7 +18,7 @@ from .iteration_bound import (
 from .kernel import EdgeKernel
 from .period import alap_times, asap_times, critical_path, cycle_period
 from .validate import is_valid, topological_order, validate
-from .serialize import from_json, to_dot, to_json
+from .serialize import GraphFormatError, from_json, load_graph, to_dot, to_json
 from .wd import distinct_d_values, wd_matrices
 
 __all__ = [
@@ -45,7 +45,9 @@ __all__ = [
     "validate",
     "distinct_d_values",
     "wd_matrices",
+    "GraphFormatError",
     "from_json",
+    "load_graph",
     "to_dot",
     "to_json",
 ]

@@ -1,0 +1,47 @@
+"""Crash-safe file-writing primitives shared across the library.
+
+Every artifact a run leaves behind — JSON reports, metrics exports,
+Chrome traces — must survive the writer dying mid-store: an interrupted
+run may be resumed, and a truncated report is worse than none.  The
+pattern is the same one :class:`repro.runner.cache.ResultCache` uses for
+entries: write the full content to a temp file in the destination
+directory, then move it over the final path with one atomic
+``os.replace``.  A reader (or a post-crash inspection) therefore sees
+either the complete old content or the complete new content, never a
+torn file.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["atomic_write_text"]
+
+
+def atomic_write_text(path: Path | str, text: str, fsync: bool = False) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + rename).
+
+    With ``fsync`` the bytes are flushed to stable storage before the
+    rename, so even a machine crash cannot leave a new-name/old-content
+    window.  The temp file is unlinked on any failure — an interrupted
+    write leaves the previous content (or no file) behind, never a
+    truncated one.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+            if fsync:
+                fh.flush()
+                os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise

@@ -268,9 +268,15 @@ def chrome_trace_events(spans: list[Span]) -> list[dict]:
 
 
 def write_chrome_trace(path: Path | str, spans: list[Span]) -> None:
-    """Write ``spans`` as a Chrome trace-event JSON file."""
+    """Write ``spans`` as a Chrome trace-event JSON file.
+
+    Atomic (temp file + rename): an interrupted export never leaves a
+    truncated trace that ``chrome://tracing`` would reject.
+    """
+    from ..ioutil import atomic_write_text
+
     doc = {"traceEvents": chrome_trace_events(spans), "displayTimeUnit": "ms"}
-    Path(path).write_text(json.dumps(doc, indent=1))
+    atomic_write_text(path, json.dumps(doc, indent=1))
 
 
 def spans_from_chrome_events(events: list[dict]) -> list[Span]:

@@ -15,6 +15,7 @@ and the FAILED-cell output contract.
 
 from .cache import (
     CACHE_SCHEMA,
+    QUARANTINE_CAP,
     QUARANTINE_DIR,
     CacheStats,
     NullCache,
@@ -32,6 +33,15 @@ from .difftest import (
 )
 from .engine import EngineStats, ExperimentEngine, default_engine
 from .jobs import TRANSFORMS, Job, JobResult, execute_job, jobs_for_matrix
+from .journal import (
+    JOURNAL_NAME,
+    JournalError,
+    JournalScan,
+    RunCheckpoint,
+    RunJournal,
+    scan_journal,
+)
+from .supervisor import SupervisedPool
 from .resilience import (
     FAULT_PLAN_ENV,
     FAULT_SITES,
@@ -46,6 +56,7 @@ from .resilience import (
 
 __all__ = [
     "CACHE_SCHEMA",
+    "QUARANTINE_CAP",
     "QUARANTINE_DIR",
     "FAULT_PLAN_ENV",
     "FAULT_SITES",
@@ -56,6 +67,13 @@ __all__ = [
     "JobTimeoutError",
     "RetryPolicy",
     "run_attempts",
+    "JOURNAL_NAME",
+    "JournalError",
+    "JournalScan",
+    "RunCheckpoint",
+    "RunJournal",
+    "SupervisedPool",
+    "scan_journal",
     "CacheStats",
     "NullCache",
     "ResultCache",

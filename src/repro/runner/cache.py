@@ -34,6 +34,7 @@ from . import resilience
 
 __all__ = [
     "CACHE_SCHEMA",
+    "QUARANTINE_CAP",
     "QUARANTINE_DIR",
     "CacheStats",
     "NullCache",
@@ -53,6 +54,10 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: entries.  The ``.corrupt`` suffix keeps them out of ``*.json`` globs,
 #: so ``len(cache)`` and :meth:`ResultCache.clear` see live entries only.
 QUARANTINE_DIR = ".quarantine"
+
+#: Default cap on quarantined files kept for post-mortems; beyond it the
+#: oldest are pruned so a rotting disk cannot grow the directory forever.
+QUARANTINE_CAP = 100
 
 _code_version: str | None = None
 
@@ -111,6 +116,7 @@ class CacheStats:
     puts: int = 0
     discarded: int = 0  # corrupt entries quarantined on read
     write_failures: int = 0  # stores that raised (crash-injected or real)
+    quarantine_pruned: int = 0  # old quarantined files evicted by the cap
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -119,6 +125,7 @@ class CacheStats:
             "puts": self.puts,
             "discarded": self.discarded,
             "write_failures": self.write_failures,
+            "quarantine_pruned": self.quarantine_pruned,
         }
 
     def merge(self, delta: "CacheStats | dict") -> None:
@@ -130,6 +137,7 @@ class CacheStats:
         self.puts += delta.get("puts", 0)
         self.discarded += delta.get("discarded", 0)
         self.write_failures += delta.get("write_failures", 0)
+        self.quarantine_pruned += delta.get("quarantine_pruned", 0)
 
     @property
     def lookups(self) -> int:
@@ -149,8 +157,15 @@ class ResultCache:
     should treat payloads as plain JSON data.
     """
 
-    def __init__(self, root: Path | str | None = None) -> None:
+    def __init__(
+        self,
+        root: Path | str | None = None,
+        quarantine_cap: int = QUARANTINE_CAP,
+    ) -> None:
+        if quarantine_cap < 0:
+            raise ValueError(f"quarantine_cap must be >= 0, got {quarantine_cap}")
         self.root = Path(root) if root is not None else default_cache_dir()
+        self.quarantine_cap = quarantine_cap
         self.stats = CacheStats()
 
     # -- paths ---------------------------------------------------------
@@ -272,6 +287,9 @@ class ResultCache:
 
         Keeping the bytes (instead of unlinking) preserves the evidence
         for post-mortems; either way the entry leaves the live cache.
+        The directory is bounded by ``quarantine_cap``: beyond it the
+        oldest files are pruned (``stats.quarantine_pruned``) so a run
+        against a rotting disk cannot grow it without limit.
         """
         qdir = self.root / QUARANTINE_DIR
         try:
@@ -283,13 +301,32 @@ class ResultCache:
                 path.unlink()
             except OSError:
                 pass
+            return
+        self._prune_quarantine()
+
+    def _prune_quarantine(self) -> None:
+        entries = self.quarantined_entries()
+        for victim in entries[: max(0, len(entries) - self.quarantine_cap)]:
+            try:
+                victim.unlink()
+            except OSError:
+                continue
+            self.stats.quarantine_pruned += 1
+            count("cache.quarantined_pruned")
 
     def quarantined_entries(self) -> list[Path]:
-        """Quarantined corrupt-entry files, oldest-name first."""
+        """Quarantined corrupt-entry files, oldest first (mtime, then name)."""
         qdir = self.root / QUARANTINE_DIR
         if not qdir.exists():
             return []
-        return sorted(qdir.glob("*.corrupt"))
+
+        def age(path: Path) -> tuple:
+            try:
+                return (path.stat().st_mtime, path.name)
+            except OSError:
+                return (0.0, path.name)
+
+        return sorted(qdir.glob("*.corrupt"), key=age)
 
     def clear(self) -> int:
         """Delete every live entry; returns the number removed.

@@ -36,12 +36,25 @@ active.  A job whose retries are exhausted degrades into a structured
 ``FAILED`` payload instead of raising; :meth:`ExperimentEngine.failure_summary`
 renders the post-run report and the ``jobs.retried`` / ``jobs.timed_out``
 / ``jobs.failed`` metrics surface through ``--stats``.
+
+Crash consistency (:mod:`repro.runner.journal`): with a
+:class:`~repro.runner.journal.RunJournal` attached, every unit's
+submission and completion is an fsync'd write-ahead record, completed
+units rehydrate on ``--resume`` instead of re-executing, and parallel
+completions are journaled as they land.  Supervised mode
+(:mod:`repro.runner.supervisor`) swaps the ``ProcessPoolExecutor`` for a
+self-healing pool whose dead or hung workers are detected by heartbeat,
+respawned, and their jobs requeued under the same
+:class:`~repro.runner.resilience.RetryPolicy`.  Both layers are
+off-by-default ``is None`` guards — an unjournaled, unsupervised run
+executes the exact code it always did.
 """
 
 from __future__ import annotations
 
+import copy
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -117,6 +130,8 @@ class EngineStats:
     retried: int = 0  # extra attempts beyond each unit's first
     timed_out: int = 0  # units whose attempts exhausted on deadlines
     failed: int = 0  # units whose attempts exhausted on crashes
+    resumed: int = 0  # units rehydrated from a run journal (--resume)
+    respawned: int = 0  # supervised-pool workers replaced after death/hang
     wall_time: float = 0.0  # sum of per-call compute time
     vm_executed: int = 0  # VM compute instructions executed
     vm_disabled: int = 0  # guarded computes whose predicate was off
@@ -160,6 +175,21 @@ class ExperimentEngine:
         separately by the process-global plan
         (:func:`repro.runner.resilience.activate`), which the engine
         forwards to its pool workers.
+    supervised:
+        Run parallel work through the
+        :class:`~repro.runner.supervisor.SupervisedPool` — real worker
+        processes with heartbeats, dead/hung-worker detection, respawn
+        and requeue — instead of ``ProcessPoolExecutor``.
+    heartbeat_timeout:
+        Seconds of heartbeat silence before a busy supervised worker is
+        declared hung (the ``--worker-heartbeat-timeout`` flag).
+
+    Checkpointing: assigning a
+    :class:`~repro.runner.journal.RunJournal` to ``engine.journal``
+    makes every unit's submission and completion durable; loading a
+    journal scan via :meth:`load_resume_state` rehydrates completed
+    units so only pending ones re-execute.  Both default to off and cost
+    a single ``is None``/empty-dict check when unused.
     """
 
     def __init__(
@@ -167,6 +197,8 @@ class ExperimentEngine:
         jobs: int | None = 1,
         cache: ResultCache | NullCache | Path | str | None = None,
         retry: RetryPolicy | None = None,
+        supervised: bool = False,
+        heartbeat_timeout: float = 30.0,
     ) -> None:
         if jobs is None or jobs <= 0:
             jobs = os.cpu_count() or 1
@@ -178,7 +210,45 @@ class ExperimentEngine:
         else:
             self.cache = ResultCache(cache)
         self.retry = retry if retry is not None else RetryPolicy()
+        self.supervised = supervised
+        self.heartbeat_timeout = heartbeat_timeout
         self.stats = EngineStats()
+        self.journal = None  # a RunJournal when checkpointing is on
+        self.resume_state: dict[str, dict] = {}  # key -> job.done/failed data
+
+    # -- checkpoint/resume ---------------------------------------------
+
+    def load_resume_state(self, scan) -> int:
+        """Load a :class:`~repro.runner.journal.JournalScan`'s completed
+        units; returns how many will be served without re-execution."""
+        completed = scan.completed()
+        self.resume_state.update(completed)
+        return len(completed)
+
+    def _rehydrate(self, label: str, rec: dict) -> tuple[dict, bool, float, JobOutcome | None]:
+        """Serve one unit from its journal record, bit-identically."""
+        payload = copy.deepcopy(rec["payload"])
+        outcome = None
+        if rec.get("outcome") is not None:
+            outcome = JobOutcome.from_dict(rec["outcome"])
+            outcome.resumed = True
+            self._absorb_outcome(outcome)
+        self.stats.resumed += 1
+        count("run.resumed_jobs")
+        self.stats.record(label, payload, 0.0, cached=True)
+        return payload, True, 0.0, outcome
+
+    def _journal_envelope(
+        self, key: str, label: str, payload: dict, cached: bool, outcome_doc: dict | None
+    ) -> None:
+        """Durably record one completed unit (crash-consistency point)."""
+        status = (outcome_doc or {}).get("status", "ok")
+        if status == "ok":
+            self.journal.job_done(
+                key, label, payload, cached=cached, outcome=outcome_doc
+            )
+        else:
+            self.journal.job_failed(key, label, payload, outcome=outcome_doc)
 
     # -- generic memoized fan-out --------------------------------------
 
@@ -214,10 +284,34 @@ class ExperimentEngine:
         labels = labels or [f"{kind}#{i}" for i in range(len(params_list))]
         keys = [cache_key(kind, p) for p in params_list]
         with span("engine.map", kind=kind, calls=len(params_list)) as sp:
-            if self.jobs > 1 and len(params_list) > 1:
-                out = self._map_parallel(fn, params_list, keys, labels)
-            else:
-                out = self._map_serial(fn, params_list, keys, labels)
+            slots: dict[int, tuple] = {}
+            if self.resume_state:
+                # Units with a journal completion record are rehydrated,
+                # never re-executed — the checkpoint/resume contract.
+                for i, (key, label) in enumerate(zip(keys, labels)):
+                    rec = self.resume_state.get(key)
+                    if rec is not None:
+                        slots[i] = self._rehydrate(label, rec)
+            pending = [i for i in range(len(keys)) if i not in slots]
+            if self.journal is not None:
+                # Write-ahead: a unit is journaled as submitted before it
+                # can run, so a crash always classifies it correctly.
+                for i in pending:
+                    self.journal.job_submitted(keys[i], labels[i])
+            if pending:
+                sub = (
+                    [params_list[i] for i in pending],
+                    [keys[i] for i in pending],
+                    [labels[i] for i in pending],
+                )
+                pool_wanted = self.jobs > 1 or self.supervised
+                if pool_wanted and len(pending) > 1:
+                    ran = self._map_parallel(fn, *sub)
+                else:
+                    ran = self._map_serial(fn, *sub)
+                for i, r in zip(pending, ran):
+                    slots[i] = r
+            out = [slots[i] for i in range(len(keys))]
             sp.set(computed=sum(1 for _, cached, _, _ in out if not cached))
         return out
 
@@ -243,12 +337,18 @@ class ExperimentEngine:
         for params, key, label in zip(params_list, keys, labels):
             payload = self.cache.get(key)
             if payload is not None:
+                if self.journal is not None:
+                    # Journal cache hits too: resume must not depend on
+                    # the cache still existing (or being unchanged).
+                    self._journal_envelope(key, label, payload, True, None)
                 self.stats.record(label, payload, 0.0, cached=True)
                 out.append((payload, True, 0.0, None))
                 continue
             payload, outcome, wall = run_attempts(fn, params, label, self.retry)
             if payload.get("ok", True):
                 self.cache.put_safe(key, payload)
+            if self.journal is not None:
+                self._journal_envelope(key, label, payload, False, outcome.as_dict())
             self._absorb_outcome(outcome)
             self.stats.record(label, payload, wall, cached=False)
             out.append((payload, False, wall, outcome))
@@ -268,9 +368,48 @@ class ExperimentEngine:
             (fn, params, key, cache_root, obs_on, label, policy_doc, plan_doc)
             for params, key, label in zip(params_list, keys, labels)
         ]
-        workers = min(self.jobs, len(tasks))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            envelopes = list(pool.map(_pool_worker, tasks))
+        workers = max(1, min(self.jobs, len(tasks)))
+
+        def journal_result(i: int, envelope: dict) -> None:
+            self._journal_envelope(
+                keys[i],
+                labels[i],
+                envelope["payload"],
+                envelope["cached"],
+                envelope.get("outcome"),
+            )
+
+        if self.supervised:
+            from .supervisor import SupervisedPool
+
+            spool = SupervisedPool(
+                workers,
+                policy=self.retry,
+                heartbeat_timeout=self.heartbeat_timeout,
+            )
+            envelopes = spool.run(
+                tasks,
+                on_result=journal_result if self.journal is not None else None,
+            )
+            if spool.respawned:
+                self.stats.respawned += spool.respawned
+                count("workers.respawned", spool.respawned)
+        elif self.journal is None:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                envelopes = list(pool.map(_pool_worker, tasks))
+        else:
+            # Journaled runs record each completion the moment it lands,
+            # not at the end of the batch — a crash between completions
+            # loses at most the in-flight units.
+            envelopes = [None] * len(tasks)
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(_pool_worker, t): i for i, t in enumerate(tasks)
+                }
+                for fut in as_completed(futures):
+                    i = futures[fut]
+                    envelopes[i] = fut.result()
+                    journal_result(i, envelopes[i])
         out: list[tuple[dict, bool, float, JobOutcome | None]] = []
         for label, envelope in zip(labels, envelopes):
             # Fleet-wide accounting: merge the worker's per-call deltas.
@@ -327,6 +466,14 @@ class ExperimentEngine:
             f"resilience  : {s.retried} jobs.retried, "
             f"{s.timed_out} jobs.timed_out, {s.failed} jobs.failed "
             f"(max {self.retry.max_attempts} attempts/job)",
+            f"checkpoint  : {s.resumed} jobs resumed, "
+            f"{s.respawned} workers respawned, "
+            f"journal {'on' if self.journal is not None else 'off'}"
+            + (
+                f" ({self.journal.records_written} records)"
+                if self.journal is not None
+                else ""
+            ),
             f"compute time: {s.wall_time:.3f}s total",
             f"vm          : {s.vm_executed} computes executed, "
             f"{s.vm_disabled} disabled",
@@ -385,6 +532,12 @@ class ExperimentEngine:
         )
         m.gauge("jobs.timed_out", "units exhausted on deadlines").set(s.timed_out)
         m.gauge("jobs.failed", "units exhausted on crashes").set(s.failed)
+        m.gauge("run.resumed_jobs", "units rehydrated from the run journal").set(
+            s.resumed
+        )
+        m.gauge("workers.respawned", "supervised workers replaced").set(
+            s.respawned
+        )
 
 
 def default_engine(
@@ -392,12 +545,22 @@ def default_engine(
     cache: bool = True,
     cache_dir: Path | str | None = None,
     retry: RetryPolicy | None = None,
+    supervised: bool = False,
+    heartbeat_timeout: float = 30.0,
 ) -> ExperimentEngine:
     """Engine with the conventional CLI defaults (on-disk cache enabled)."""
     if not cache:
-        return ExperimentEngine(jobs=jobs, cache=None, retry=retry)
+        return ExperimentEngine(
+            jobs=jobs,
+            cache=None,
+            retry=retry,
+            supervised=supervised,
+            heartbeat_timeout=heartbeat_timeout,
+        )
     return ExperimentEngine(
         jobs=jobs,
         cache=ResultCache(cache_dir) if cache_dir else ResultCache(),
         retry=retry,
+        supervised=supervised,
+        heartbeat_timeout=heartbeat_timeout,
     )

@@ -154,6 +154,11 @@ class JobResult:
             return self.outcome.status
         return "ok" if self.ok else "error"
 
+    @property
+    def resumed(self) -> bool:
+        """Rehydrated from a run journal (``--resume``), not re-executed."""
+        return self.outcome is not None and self.outcome.resumed
+
 
 def _program_for(job_graph: DFG, transform: str, f: int, n: int):
     """Build ``(program, effective_n, extras)`` for one transform."""

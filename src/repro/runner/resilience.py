@@ -35,6 +35,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import signal
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -57,7 +58,9 @@ __all__ = [
     "deactivate",
     "failure_payload",
     "fault_point",
+    "journal_write_point",
     "run_attempts",
+    "worker_kill_point",
 ]
 
 #: Environment variable holding a plan: a JSON file path or inline JSON.
@@ -65,19 +68,27 @@ FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
 
 #: The named injection sites threaded through the engine and the cache.
 #:
-#: ``job.start``    — raises :class:`FaultInjected` before a job attempt
-#:                    executes (a worker crash);
-#: ``job.timeout``  — raises :class:`JobTimeoutError` for an attempt (a
-#:                    hung job whose deadline expired);
-#: ``cache.read``   — corrupts a cache entry's raw bytes before
-#:                    validation, exercising checksum + quarantine;
-#: ``cache.write``  — raises mid-store, after the temp file is written
-#:                    but before the atomic rename (a crashed writer).
+#: ``job.start``     — raises :class:`FaultInjected` before a job attempt
+#:                     executes (a worker crash);
+#: ``job.timeout``   — raises :class:`JobTimeoutError` for an attempt (a
+#:                     hung job whose deadline expired);
+#: ``cache.read``    — corrupts a cache entry's raw bytes before
+#:                     validation, exercising checksum + quarantine;
+#: ``cache.write``   — raises mid-store, after the temp file is written
+#:                     but before the atomic rename (a crashed writer);
+#: ``journal.write`` — tears a run-journal record mid-append (a torn
+#:                     final line) and raises, simulating the parent
+#:                     process dying inside a journal write;
+#: ``worker.kill``   — SIGKILLs the executing worker process itself at
+#:                     task start, exercising the supervisor's
+#:                     dead-worker detection/respawn/requeue path.
 FAULT_SITES: tuple[str, ...] = (
     "job.start",
     "job.timeout",
     "cache.read",
     "cache.write",
+    "journal.write",
+    "worker.kill",
 )
 
 
@@ -288,6 +299,41 @@ def fault_point(site: str, label: str) -> None:
     raise FaultInjected(site, label, occurrence)
 
 
+def journal_write_point(label: str) -> int | None:
+    """Injection hook for ``journal.write``.
+
+    Returns the firing occurrence number when the site fires (the
+    journal then simulates a torn write: a truncated record followed by
+    a :class:`FaultInjected` crash), else ``None``.  The decision —
+    never the crash — happens here so :class:`~repro.runner.journal.RunJournal`
+    controls exactly which bytes hit the disk first.
+    """
+    if _PLAN is None:
+        return None
+    if _PLAN.fire("journal.write", label) is None:
+        return None
+    return _PLAN._counts[("journal.write", label)]
+
+
+def worker_kill_point(label: str, prior_attempts: int = 0) -> None:
+    """Injection hook for ``worker.kill``: SIGKILL the calling process.
+
+    Called by supervised pool workers at task start.  ``prior_attempts``
+    is how many times this task was dispatched before (a respawned
+    worker re-executing a requeued task): the occurrence counter is
+    advanced past those draws first, so a ``times: 1`` spec kills the
+    first dispatch only and the requeued execution survives — the same
+    fresh-plan-per-task determinism the engine relies on elsewhere.
+    """
+    if _PLAN is None:
+        return
+    for _ in range(prior_attempts):
+        _PLAN.fire("worker.kill", label)
+    if _PLAN.fire("worker.kill", label) is None:
+        return
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
 def corrupt_point(label: str, raw: str) -> str:
     """Corrupting injection hook for ``cache.read``.
 
@@ -359,6 +405,11 @@ class JobOutcome:
     deterministic graph error) is still ``"ok"`` here — it executed and
     retrying it would reproduce the same answer.  ``"failed"`` and
     ``"timed_out"`` mean the attempts themselves crashed or overran.
+
+    Provenance: ``resumed`` marks an outcome rehydrated from a run
+    journal on ``--resume`` (the unit was *not* re-executed this run);
+    ``respawned`` counts the supervised-pool workers that died or hung
+    while holding this unit and were replaced before it completed.
     """
 
     label: str
@@ -366,6 +417,8 @@ class JobOutcome:
     attempts: int = 1
     faults: list[str] = field(default_factory=list)
     error: str | None = None
+    resumed: bool = False
+    respawned: int = 0
 
     @property
     def retried(self) -> int:
@@ -379,6 +432,8 @@ class JobOutcome:
             "attempts": self.attempts,
             "faults": list(self.faults),
             "error": self.error,
+            "resumed": self.resumed,
+            "respawned": self.respawned,
         }
 
     @classmethod
@@ -389,6 +444,8 @@ class JobOutcome:
             attempts=doc.get("attempts", 1),
             faults=list(doc.get("faults", [])),
             error=doc.get("error"),
+            resumed=bool(doc.get("resumed", False)),
+            respawned=int(doc.get("respawned", 0)),
         )
 
 

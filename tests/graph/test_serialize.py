@@ -6,7 +6,13 @@ import pytest
 from hypothesis import given, settings
 
 from repro.graph import DFG, DFGError
-from repro.graph.serialize import from_json, to_dot, to_json
+from repro.graph.serialize import (
+    GraphFormatError,
+    from_json,
+    load_graph,
+    to_dot,
+    to_json,
+)
 
 from ..conftest import timed_dfgs
 
@@ -48,6 +54,89 @@ class TestJson:
         text = to_json(fig1, indent=None)
         assert "\n" not in text
         assert from_json(text) == fig1
+
+
+class TestGraphFormatError:
+    """Malformed/truncated graph JSON yields ONE exception type whose
+    message names the source file (when known) and the offending field."""
+
+    def test_is_a_dfg_error(self):
+        assert issubclass(GraphFormatError, DFGError)
+
+    def test_names_ill_typed_node_field(self):
+        doc = (
+            '{"format": "repro-dfg-v1", "edges": [], "nodes": '
+            '[{"name": "A"}, {"name": "B", "time": "soon"}]}'
+        )
+        with pytest.raises(GraphFormatError, match=r"nodes\[1\].time") as ei:
+            from_json(doc)
+        assert ei.value.field == "nodes[1].time"
+
+    def test_names_missing_node_field(self):
+        with pytest.raises(GraphFormatError, match=r"missing field nodes\[0\].name"):
+            from_json('{"format": "repro-dfg-v1", "nodes": [{}], "edges": []}')
+
+    def test_names_missing_edge_field(self):
+        doc = (
+            '{"format": "repro-dfg-v1", "nodes": [{"name": "A"}], '
+            '"edges": [{"src": "A", "dst": "A"}]}'
+        )
+        with pytest.raises(GraphFormatError, match=r"missing field edges\[0\].delay"):
+            from_json(doc)
+
+    def test_names_missing_section(self):
+        with pytest.raises(GraphFormatError, match="missing section 'nodes'") as ei:
+            from_json('{"format": "repro-dfg-v1"}')
+        assert ei.value.field == "nodes"
+
+    def test_names_non_list_section(self):
+        with pytest.raises(GraphFormatError, match="'edges' must be a list"):
+            from_json('{"format": "repro-dfg-v1", "nodes": [], "edges": 7}')
+
+    def test_names_non_object_row(self):
+        with pytest.raises(GraphFormatError, match=r"nodes\[0\] must be an object"):
+            from_json('{"format": "repro-dfg-v1", "nodes": [5], "edges": []}')
+
+    def test_names_bad_op_value(self):
+        doc = (
+            '{"format": "repro-dfg-v1", "edges": [], '
+            '"nodes": [{"name": "A", "op": "frobnicate"}]}'
+        )
+        with pytest.raises(GraphFormatError, match=r"bad value for nodes\[0\].op"):
+            from_json(doc)
+
+    def test_structural_rejection_pins_the_node(self):
+        doc = (
+            '{"format": "repro-dfg-v1", "edges": [], '
+            '"nodes": [{"name": "A"}, {"name": "A"}]}'
+        )
+        with pytest.raises(GraphFormatError, match=r"nodes\[1\]"):
+            from_json(doc)
+
+    def test_source_prefixes_every_message(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "repro-dfg-v1", "nodes": [{}], "edges": []}')
+        with pytest.raises(GraphFormatError) as ei:
+            load_graph(path)
+        assert str(ei.value).startswith(str(path))
+        assert ei.value.source == str(path)
+        assert ei.value.field == "nodes[0].name"
+
+    def test_load_graph_roundtrip(self, tmp_path, fig1):
+        path = tmp_path / "fig1.json"
+        path.write_text(to_json(fig1))
+        assert load_graph(path) == fig1
+
+    def test_load_graph_missing_file(self, tmp_path):
+        with pytest.raises(GraphFormatError, match="cannot read graph file"):
+            load_graph(tmp_path / "nope.json")
+
+    def test_truncated_file_names_the_file(self, tmp_path, fig1):
+        path = tmp_path / "torn.json"
+        path.write_text(to_json(fig1)[:25])
+        with pytest.raises(GraphFormatError, match="not valid JSON") as ei:
+            load_graph(path)
+        assert ei.value.source == str(path)
 
 
 class TestDot:

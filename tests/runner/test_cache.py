@@ -20,6 +20,8 @@ from hypothesis import strategies as st
 from repro.graph.generators import random_dfg
 from repro.graph.serialize import to_json
 from repro.runner import (
+    QUARANTINE_DIR,
+    CacheStats,
     ExperimentEngine,
     Job,
     NullCache,
@@ -223,3 +225,64 @@ class TestCacheStore:
     def test_code_version_is_stable_within_process(self):
         assert code_version() == code_version()
         assert len(code_version()) == 16
+
+
+class TestQuarantineCap:
+    """The ``.quarantine/`` directory is bounded: beyond ``quarantine_cap``
+    files the oldest are pruned, so a rotting disk on a long campaign
+    cannot grow it without limit."""
+
+    def _seed_quarantine(self, tmp_path, n: int) -> None:
+        import os
+
+        qdir = tmp_path / QUARANTINE_DIR
+        qdir.mkdir()
+        for i in range(n):
+            f = qdir / (f"{i:02d}" * 32 + ".corrupt")
+            f.write_text("old corpse")
+            os.utime(f, (1000 + i, 1000 + i))  # strictly increasing ages
+
+    def test_prunes_oldest_beyond_cap(self, tmp_path):
+        cache = ResultCache(tmp_path, quarantine_cap=3)
+        self._seed_quarantine(tmp_path, 5)
+        key = "ff" * 32
+        cache.put(key, {"ok": True})
+        cache._path(key).write_text("}{ not json")
+        assert cache.get(key) is None  # quarantines a 6th file
+
+        survivors = [p.name for p in cache.quarantined_entries()]
+        assert len(survivors) == 3
+        # The three OLDEST corpses went; the fresh one always survives.
+        assert f"{key}.corrupt" in survivors
+        assert ("00" * 32 + ".corrupt") not in survivors
+        assert ("04" * 32 + ".corrupt") in survivors
+        assert cache.stats.quarantine_pruned == 3
+
+    def test_cap_zero_keeps_no_evidence(self, tmp_path):
+        cache = ResultCache(tmp_path, quarantine_cap=0)
+        key = "ab" * 32
+        cache.put(key, {"ok": True})
+        cache._path(key).write_text("}{ not json")
+        assert cache.get(key) is None
+        assert cache.quarantined_entries() == []
+        assert cache.stats.quarantine_pruned == 1
+
+    def test_under_cap_nothing_pruned(self, tmp_path):
+        cache = ResultCache(tmp_path)  # default cap: 100
+        key = "cd" * 32
+        cache.put(key, {"ok": True})
+        cache._path(key).write_text("}{ not json")
+        assert cache.get(key) is None
+        assert len(cache.quarantined_entries()) == 1
+        assert cache.stats.quarantine_pruned == 0
+
+    def test_negative_cap_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="quarantine_cap"):
+            ResultCache(tmp_path, quarantine_cap=-1)
+
+    def test_stats_merge_carries_pruned_counter(self):
+        total = CacheStats()
+        total.merge(CacheStats(quarantine_pruned=2))
+        total.merge({"quarantine_pruned": 3})
+        assert total.quarantine_pruned == 5
+        assert total.as_dict()["quarantine_pruned"] == 5

@@ -135,6 +135,7 @@ class TestCrossProcessStats:
             "puts": len(self.JOBS),
             "discarded": 0,
             "write_failures": 0,
+            "quarantine_pruned": 0,
         }
 
     def test_warm_parallel_run_pins_aggregate_hits(self, tmp_path):

@@ -1,0 +1,192 @@
+"""Tests for the supervised process pool: workers that die and hang.
+
+SIGKILL'd workers (the ``worker.kill`` fault site) and SIGSTOP'd workers
+(a stale heartbeat — the hang signature) must both be detected, the
+worker respawned and the task requeued; tasks that destroy every worker
+they touch degrade into FAILED envelopes under the
+``completed + failed + timed_out == submitted`` accounting.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import pytest
+
+from repro.runner import ExperimentEngine, SupervisedPool
+from repro.runner import resilience
+from repro.runner.resilience import FaultPlan, FaultSpec, RetryPolicy
+
+PARAMS = [{"x": i} for i in range(6)]
+
+
+def _square(params: dict) -> dict:
+    return {"ok": True, "y": params["x"] * params["x"]}
+
+
+def _hang_once(params: dict) -> dict:
+    """SIGSTOP the worker on the first dispatch (flag file absent); run
+    normally on a redispatch.  SIGSTOP freezes every thread — including
+    the heartbeat — which is exactly the hang the monitor must detect."""
+    flag = params.get("flag")
+    if flag and not os.path.exists(flag):
+        with open(flag, "w") as fh:
+            fh.write("stopped once")
+        os.kill(os.getpid(), signal.SIGSTOP)
+    return {"ok": True, "y": params["x"]}
+
+
+def _hang_always(params: dict) -> dict:
+    os.kill(os.getpid(), signal.SIGSTOP)
+    return {"ok": True}  # unreachable: the worker is stopped until killed
+
+
+def _run_supervised(
+    plan=None,
+    fn=_square,
+    params=PARAMS,
+    retry=None,
+    heartbeat_timeout=30.0,
+):
+    if plan is not None:
+        resilience.activate(plan)
+    try:
+        engine = ExperimentEngine(
+            jobs=2,
+            cache=None,
+            retry=retry,
+            supervised=True,
+            heartbeat_timeout=heartbeat_timeout,
+        )
+        out = engine.map_cached("unit", fn, params)
+        return out, engine
+    finally:
+        resilience.deactivate()
+
+
+class TestPoolBasics:
+    def test_matches_serial_results_in_submission_order(self):
+        serial = ExperimentEngine(jobs=1, cache=None).map_cached(
+            "unit", _square, PARAMS
+        )
+        out, engine = _run_supervised()
+        assert out == serial
+        assert engine.stats.respawned == 0
+        assert engine.stats.completed == len(PARAMS)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            SupervisedPool(0)
+        with pytest.raises(ValueError, match="heartbeat_timeout"):
+            SupervisedPool(2, heartbeat_timeout=0.0)
+
+    def test_empty_task_list(self):
+        assert SupervisedPool(2).run([]) == []
+
+
+class TestDeadWorkerRecovery:
+    def test_sigkilled_worker_is_respawned_and_task_requeued(self):
+        plan = FaultPlan([FaultSpec("worker.kill", "unit#2", times=1)])
+        out, engine = _run_supervised(plan)
+        assert out == [{"ok": True, "y": p["x"] ** 2} for p in PARAMS]
+        assert engine.stats.respawned == 1
+        assert engine.stats.completed == len(PARAMS)
+        assert engine.stats.failed == 0 and engine.stats.timed_out == 0
+        victim = next(o for o in engine.stats.outcomes if o.label == "unit#2")
+        assert victim.status == "ok"
+        assert victim.respawned == 1
+        assert any(f.startswith("worker.dead@1") for f in victim.faults)
+
+    def test_multiple_victims_all_recover(self):
+        plan = FaultPlan(
+            [
+                FaultSpec("worker.kill", "unit#1", times=1),
+                FaultSpec("worker.kill", "unit#4", times=1),
+            ]
+        )
+        out, engine = _run_supervised(plan)
+        assert out == [{"ok": True, "y": p["x"] ** 2} for p in PARAMS]
+        assert engine.stats.respawned == 2
+        assert engine.stats.completed == len(PARAMS)
+
+    def test_poisoned_task_degrades_to_failed(self):
+        """A task that kills EVERY worker it touches must exhaust its
+        dispatch budget and fail — without wedging the other tasks."""
+        plan = FaultPlan([FaultSpec("worker.kill", "unit#0", times=0)])
+        retry = RetryPolicy(max_attempts=2, backoff=0.0)
+        out, engine = _run_supervised(plan, retry=retry)
+        assert out[0]["ok"] is False
+        assert out[0]["error_type"] == "WorkerCrash"
+        assert out[1:] == [{"ok": True, "y": p["x"] ** 2} for p in PARAMS[1:]]
+        assert engine.stats.failed == 1
+        assert engine.stats.respawned == 2  # one per doomed dispatch
+        assert (
+            engine.stats.completed + engine.stats.failed + engine.stats.timed_out
+            == len(PARAMS)
+        )
+        victim = next(o for o in engine.stats.outcomes if o.label == "unit#0")
+        assert victim.status == "failed"
+        assert victim.attempts == 2 and victim.respawned == 2
+
+
+class TestHungWorkerRecovery:
+    def test_sigstopped_worker_is_killed_respawned_and_task_redispatched(
+        self, tmp_path
+    ):
+        params = [dict(p) for p in PARAMS]
+        params[2]["flag"] = str(tmp_path / "hang-once")
+        out, engine = _run_supervised(
+            fn=_hang_once, params=params, heartbeat_timeout=0.6
+        )
+        assert out == [{"ok": True, "y": p["x"]} for p in PARAMS]
+        assert engine.stats.respawned >= 1
+        assert engine.stats.completed == len(PARAMS)
+        victim = next(o for o in engine.stats.outcomes if o.label == "unit#2")
+        assert victim.status == "ok"
+        assert any(f.startswith("worker.hung@") for f in victim.faults)
+
+    def test_always_hanging_task_times_out(self):
+        retry = RetryPolicy(max_attempts=2, backoff=0.0)
+        out, engine = _run_supervised(
+            fn=_hang_always,
+            params=[{"x": 0}, {"x": 1}],
+            retry=retry,
+            heartbeat_timeout=0.5,
+        )
+        assert all(p["ok"] is False for p in out)
+        assert engine.stats.timed_out == 2
+        assert (
+            engine.stats.completed + engine.stats.failed + engine.stats.timed_out
+            == 2
+        )
+        for o in engine.stats.outcomes:
+            assert o.status == "timed_out"
+            assert o.attempts == 2
+            assert any(f.startswith("worker.hung@") for f in o.faults)
+
+
+class TestJournalIntegration:
+    def test_supervised_run_journals_completions_and_resumes(self, tmp_path):
+        from repro.runner import RunJournal, scan_journal
+        from repro.runner.journal import JOURNAL_NAME
+
+        plan = FaultPlan([FaultSpec("worker.kill", "unit#1", times=1)])
+        resilience.activate(plan)
+        try:
+            engine = ExperimentEngine(
+                jobs=2, cache=None, supervised=True, heartbeat_timeout=30.0
+            )
+            engine.journal = RunJournal(tmp_path)
+            ref = engine.map_cached("unit", _square, PARAMS)
+            engine.journal.close()
+        finally:
+            resilience.deactivate()
+        scan = scan_journal(tmp_path / JOURNAL_NAME)
+        assert scan.pending() == {}
+        assert len(scan.completed()) == len(PARAMS)
+
+        resumed = ExperimentEngine(jobs=1, cache=None)
+        resumed.load_resume_state(scan)
+        assert resumed.map_cached("unit", _square, PARAMS) == ref
+        assert resumed.stats.resumed == len(PARAMS)
