@@ -12,6 +12,7 @@ Examples::
     python -m repro tables 1 2                   # regenerate paper tables
     python -m repro tables --jobs 4 --stats      # parallel cached tables
     python -m repro sweep --graphs 200 --jobs 0  # differential test sweep
+    python -m repro sweep --oracle --graphs 15   # + exact-optimality oracle
     python -m repro profile --workload figure8 --trace out.json
                                                  # per-stage breakdown + trace
 """
@@ -179,9 +180,13 @@ def _cmd_sweep(args) -> int:
         "seed": args.seed,
         "factors": list(args.factors),
         "max_nodes": args.max_nodes,
+        "oracle": args.oracle,
+        "oracle_timeout": args.oracle_timeout,
     }
     if checkpoint is not None:
         if checkpoint.resume:
+            # `.get()` defaults keep journals from pre-oracle runs
+            # resumable.
             config = checkpoint.restore_config("sweep")
         checkpoint.attach(engine, "sweep", config)
     report = differential_sweep(
@@ -190,8 +195,17 @@ def _cmd_sweep(args) -> int:
         factors=tuple(config["factors"]),
         max_nodes=config["max_nodes"],
         engine=engine,
+        oracle=config.get("oracle", False),
+        oracle_timeout=config.get("oracle_timeout"),
     )
     print(report.summary())
+    if report.oracle_records:
+        print()
+        print("=== Oracle optimality gaps ===")
+        print(report.gap_table())
+    if args.gap_table_out:
+        atomic_write_text(args.gap_table_out, report.gap_table() + "\n")
+        print(f"wrote gap table: {args.gap_table_out}", file=sys.stderr)
     if args.stats:
         print("=== Engine stats ===")
         print(engine.stats_summary())
@@ -349,6 +363,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="unfolding factors to sweep",
     )
     p.add_argument("--max-nodes", type=int, default=6, help="max nodes per graph")
+    p.add_argument(
+        "--oracle",
+        action="store_true",
+        help="pin the heuristic stack against the exact repro.optimal "
+        "solvers (one oracle job per graph, gap table in the report)",
+    )
+    p.add_argument(
+        "--oracle-timeout",
+        type=float,
+        default=None,
+        metavar="SEC",
+        help="per-graph oracle search deadline; on expiry the oracle "
+        "degrades to a bounded-gap certificate instead of hanging",
+    )
+    p.add_argument(
+        "--gap-table-out",
+        default=None,
+        metavar="FILE",
+        help="write the oracle gap table to FILE (CI artifact)",
+    )
     add_engine_arguments(p)
     p.set_defaults(fn=_cmd_sweep)
 

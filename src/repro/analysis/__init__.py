@@ -16,7 +16,7 @@ from .experiments import (
     table3_comparison,
     table4_comparison,
 )
-from .tables import format_table
+from .tables import format_gap_table, format_table
 
 __all__ = [
     "PAPER_TABLE1",
@@ -34,4 +34,5 @@ __all__ = [
     "table3_comparison",
     "table4_comparison",
     "format_table",
+    "format_gap_table",
 ]

@@ -114,12 +114,19 @@ class FailedCell:
     structured failure payload instead of raising; the table drivers map
     such payloads onto this marker so the run renders ``FAILED`` cells
     (and exits non-zero with a summary) rather than dying mid-report.
+
+    ``status`` preserves *how* the unit died: ``"failed"`` /
+    ``"timed_out"`` for engine-level exhaustion (the payload's
+    ``status`` field), ``"error"`` for deterministic in-band graph
+    errors — so status-aware renderings (the oracle gap table) can
+    distinguish a crash from a deadline from a bad graph.
     """
 
     name: str = ""
     label: str = "?"
     factor: int = 0
     error: str = ""
+    status: str = "error"
 
 
 def _failed_cell(payload: dict, name: str = "", label: str = "?", factor: int = 0):
@@ -127,7 +134,11 @@ def _failed_cell(payload: dict, name: str = "", label: str = "?", factor: int = 
     if payload.get("ok", True):
         return None
     return FailedCell(
-        name=name, label=label, factor=factor, error=str(payload.get("error"))
+        name=name,
+        label=label,
+        factor=factor,
+        error=str(payload.get("error")),
+        status=str(payload.get("status", "error")),
     )
 
 

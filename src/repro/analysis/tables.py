@@ -7,9 +7,9 @@ under the header.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
-__all__ = ["format_table"]
+__all__ = ["format_table", "format_gap_table", "GAP_TABLE_HEADERS"]
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
@@ -36,3 +36,44 @@ def _cell(x: object) -> str:
     if isinstance(x, float):
         return f"{x:.1f}"
     return str(x)
+
+
+#: Gap-table columns, in order.  ``period*`` is the oracle's certified
+#: optimum (best witnessed period); ``lower`` its certified lower bound.
+GAP_TABLE_HEADERS: tuple[str, ...] = (
+    "seed",
+    "graph",
+    "period*",
+    "lower",
+    "proven",
+    "gap",
+)
+
+
+def format_gap_table(rows: Iterable[Mapping[str, object]]) -> str:
+    """Render per-graph oracle optimality gaps (``sweep --oracle``).
+
+    Each row mapping carries ``seed``, ``label``, ``status`` and — for
+    ``status == "ok"`` — ``period``, ``optimum_lower``, ``proven`` and
+    ``gap``.  Rows whose oracle job did not complete render their status
+    as marker cells (``FAILED`` / ``TIMED_OUT`` / ``ERROR``), the same
+    graceful degradation as the paper tables' FAILED cells.
+    """
+    out: list[list[object]] = []
+    for row in rows:
+        status = str(row.get("status", "ok"))
+        if status != "ok":
+            marker = status.upper()
+            out.append([row.get("seed", ""), row.get("label", "?")] + [marker] * 4)
+            continue
+        out.append(
+            [
+                row.get("seed", ""),
+                row.get("label", "?"),
+                row.get("period"),
+                row.get("optimum_lower"),
+                "yes" if row.get("proven") else "no",
+                row.get("gap"),
+            ]
+        )
+    return format_table(list(GAP_TABLE_HEADERS), out)

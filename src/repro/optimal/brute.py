@@ -1,0 +1,198 @@
+"""Brute-force enumeration oracles — the solver that verifies the solver.
+
+The branch-and-bound / difference-constraint oracles in
+:mod:`repro.optimal.period` and :mod:`repro.optimal.modulo` are themselves
+nontrivial; the property suite cross-checks them against the dumbest
+possible implementations: enumerate *everything* in a finite box that
+provably contains an optimum, and take the minimum.
+
+Soundness of the retiming box: every Leiserson–Saxe constraint weight is
+``>= -1`` (legality weights are ``d(e) >= 0``; period weights are
+``W(u, v) - 1 >= -1`` since ``W >= 0``), so whenever the system is
+feasible its Bellman–Ford shortest-path solution has values in
+``[-(n - 1), 0]`` — and after normalization (shift so ``min r = 0``) in
+``[0, n - 1]``.  Hence enumerating normalized retimings with values in
+``{0, ..., n - 1}`` is guaranteed to visit an optimal one, for both the
+minimum-period and the minimum-``M_r`` objectives.
+
+Everything here is budgeted: these enumerations are exponential by design
+and exist only for graphs small enough that exhaustiveness is cheap
+(the property tests cap at ~12 nodes).  Exceeding the budget raises
+:class:`BruteForceBudgetExceeded` — callers (hypothesis tests) treat that
+as "example rejected", never as a pass.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Iterator
+
+from ..graph.dfg import DFG, DFGError
+from ..graph.period import cycle_period
+from ..graph.validate import validate
+from ..retiming.constraints import DifferenceConstraints
+from ..retiming.function import Retiming
+from ..schedule.modulo import minimum_initiation_interval
+from ..schedule.resources import ResourceModel
+
+__all__ = [
+    "BruteForceBudgetExceeded",
+    "enumerate_normalized_retimings",
+    "brute_force_cycle_period",
+    "brute_force_min_max_retiming",
+    "brute_force_initiation_interval",
+]
+
+
+class BruteForceBudgetExceeded(RuntimeError):
+    """The enumeration box was larger than the caller's state budget."""
+
+
+def enumerate_normalized_retimings(
+    g: DFG,
+    max_value: int | None = None,
+    budget: int = 250_000,
+) -> Iterator[Retiming]:
+    """Yield every *legal, normalized* retiming of ``g`` with values in
+    ``[0, max_value]`` (default ``|V| - 1`` — the optimum-containing box).
+
+    DFS over nodes in insertion order with edge-legality pruning: a
+    partial assignment is abandoned as soon as some fully-assigned edge
+    has ``d(e) + r(u) - r(v) < 0``.  ``budget`` bounds the number of
+    partial assignments explored.
+    """
+    validate(g)
+    names = g.node_names()
+    k = (g.num_nodes - 1) if max_value is None else max_value
+    index = {n: i for i, n in enumerate(names)}
+    # Edges checkable once node i is assigned (both endpoints <= i).
+    checks: list[list[tuple[str, str, int]]] = [[] for _ in names]
+    for e in g.edges():
+        at = max(index[e.src], index[e.dst])
+        checks[at].append((e.src, e.dst, e.delay))
+
+    values: dict[str, int] = {}
+    explored = 0
+
+    def dfs(i: int) -> Iterator[Retiming]:
+        nonlocal explored
+        if i == len(names):
+            if min(values.values()) == 0:  # one representative per shift class
+                yield Retiming(g, dict(values))
+            return
+        node = names[i]
+        for val in range(k + 1):
+            explored += 1
+            if explored > budget:
+                raise BruteForceBudgetExceeded(
+                    f"{g.name}: > {budget} partial assignments "
+                    f"(box size {(k + 1) ** len(names)})"
+                )
+            values[node] = val
+            if all(d + values[u] - values[v] >= 0 for u, v, d in checks[i]):
+                yield from dfs(i + 1)
+        del values[node]
+
+    yield from dfs(0)
+
+
+def brute_force_cycle_period(
+    g: DFG, budget: int = 250_000
+) -> tuple[int, Retiming]:
+    """The minimum cycle period over *all* enumerated legal retimings,
+    with a witness — ground truth for :func:`~repro.optimal.period.
+    optimal_cycle_period` on small graphs."""
+    best: tuple[int, Retiming] | None = None
+    for r in enumerate_normalized_retimings(g, budget=budget):
+        period = cycle_period(r.apply())
+        if best is None or period < best[0]:
+            best = (period, r)
+    if best is None:  # pragma: no cover - zero retiming is always yielded
+        raise AssertionError("enumeration yielded no legal retiming")
+    return best
+
+
+def brute_force_min_max_retiming(
+    g: DFG, c: int, budget: int = 250_000
+) -> int | None:
+    """The minimum ``M_r`` over all enumerated retimings with period
+    ``<= c``, or ``None`` if no enumerated retiming achieves it — ground
+    truth for :func:`~repro.optimal.period.minimize_max_retiming`."""
+    best: int | None = None
+    for r in enumerate_normalized_retimings(g, budget=budget):
+        if cycle_period(r.apply()) <= c:
+            if best is None or r.max_value < best:
+                best = r.max_value
+    return best
+
+
+def _stage_feasible(g: DFG, ii: int, slots: dict[str, int]) -> bool:
+    """Whether a full slot assignment extends to a legal modulo schedule.
+
+    With ``start(v) = II * sigma(v) + slot(v)``, the dependence constraint
+    ``start(v) >= start(u) + t(u) - II * d(e)`` becomes the difference
+    constraint ``sigma(u) - sigma(v) <= d(e) - ceil((slot(u) + t(u) -
+    slot(v)) / II)`` — solvable iff some stage assignment exists.
+    """
+    system = DifferenceConstraints()
+    for n in g.node_names():
+        system.add_variable(n)
+    for e in g.edges():
+        rhs = e.delay - math.ceil(
+            (slots[e.src] + g.node(e.src).time - slots[e.dst]) / ii
+        )
+        if e.src == e.dst:
+            if rhs < 0:
+                return False
+            continue
+        system.add(e.src, e.dst, rhs)
+    return system.solve() is not None
+
+
+def brute_force_initiation_interval(
+    g: DFG,
+    resources: ResourceModel | None = None,
+    max_ii: int | None = None,
+    budget: int = 250_000,
+) -> int:
+    """The smallest feasible initiation interval, by trying every slot
+    assignment at every ``II`` from ``MII`` upward — ground truth for
+    :func:`~repro.optimal.modulo.optimal_initiation_interval` on tiny
+    graphs.
+
+    Unlike the branch-and-bound it verifies, this enumerates the *full*
+    slot product (no symmetry reduction, no resource pruning), so an
+    agreement between the two is meaningful.
+    """
+    validate(g)
+    resources = resources if resources is not None else ResourceModel.unconstrained()
+    ceiling = max_ii if max_ii is not None else g.total_time
+    names = g.node_names()
+    examined = 0
+    for ii in range(minimum_initiation_interval(g, resources), ceiling + 1):
+        for combo in itertools.product(range(ii), repeat=len(names)):
+            examined += 1
+            if examined > budget:
+                raise BruteForceBudgetExceeded(
+                    f"{g.name}: > {budget} slot assignments examined"
+                )
+            slots = dict(zip(names, combo))
+            occupancy: dict[tuple[int, str], int] = {}
+            ok = True
+            for n in names:
+                kind = resources.kind_of(g.node(n))
+                cap = resources.capacity(kind)
+                for dt in range(g.node(n).time):
+                    key = ((slots[n] + dt) % ii, kind)
+                    occupancy[key] = occupancy.get(key, 0) + 1
+                    if occupancy[key] > cap:
+                        ok = False
+                        break
+                if not ok:
+                    break
+            if ok and _stage_feasible(g, ii, slots):
+                return ii
+    raise DFGError(
+        f"{g.name}: no modulo schedule found up to II={ceiling}"
+    )  # pragma: no cover - the sequential II always schedules

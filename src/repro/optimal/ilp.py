@@ -1,0 +1,137 @@
+"""Optional ILP backend for the retiming oracle (``pulp``).
+
+The pure-python lattice oracle in :mod:`repro.optimal.period` is the
+default and the only backend CI exercises.  This module adds a second,
+entirely independent decision procedure behind the optional ``pulp``
+dependency (``pip install repro[ilp]``): each feasibility probe
+"period ``<= c``?" becomes an integer program over the retiming values
+
+* ``r(v) - r(u) <= d(e)``          for every edge (legality),
+* ``r(v) - r(u) <= W(u, v) - 1``   for every pair with ``D(u, v) > c``,
+
+minimizing the spread ``s >= r(u) - r(v)`` so a feasible solve also
+yields a code-size-minimal witness.  Minimizing ``c`` directly is *not*
+linear — the pair-constraint set depends on ``c`` — so the optimum is
+found by the same certified integer binary search as the lattice backend,
+with the ILP as the probe.
+
+``pulp`` is imported lazily and its absence is a first-class, clearly
+reported state (:data:`HAVE_PULP`, :class:`OptimalBackendError`) — this
+repository never requires it to be installed.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..graph.dfg import DFG
+from ..graph.period import cycle_period
+from ..graph.wd import wd_matrices_python
+from ..retiming.function import Retiming
+
+__all__ = ["HAVE_PULP", "OptimalBackendError", "ilp_retime_for_period", "ilp_cycle_period"]
+
+try:  # pragma: no cover - exercised only where pulp is installed
+    import pulp
+
+    HAVE_PULP = True
+except ModuleNotFoundError:
+    pulp = None
+    HAVE_PULP = False
+
+
+class OptimalBackendError(RuntimeError):
+    """A requested oracle backend is unavailable in this environment."""
+
+
+def _require_pulp() -> None:
+    if not HAVE_PULP:
+        raise OptimalBackendError(
+            "the 'ilp' oracle backend requires the optional dependency "
+            "'pulp' (pip install pulp); use backend='lattice' instead"
+        )
+
+
+def ilp_retime_for_period(
+    g: DFG, c: int, wd=None
+):  # pragma: no cover - requires pulp
+    """A spread-minimal legal retiming with period ``<= c`` via ILP, or
+    ``None`` if the program is infeasible."""
+    _require_pulp()
+    if any(v.time > c for v in g.nodes()):
+        return None
+    W, D = wd if wd is not None else wd_matrices_python(g)
+    n = g.num_nodes
+    prob = pulp.LpProblem(f"retime_{g.name}_c{c}", pulp.LpMinimize)
+    r = {
+        name: pulp.LpVariable(f"r_{i}", lowBound=-(n - 1), upBound=n - 1, cat="Integer")
+        for i, name in enumerate(g.node_names())
+    }
+    s = pulp.LpVariable("spread", lowBound=0, upBound=n - 1, cat="Integer")
+    prob += s
+    for e in g.edges():
+        prob += r[e.dst] - r[e.src] <= e.delay
+    for (u, v), d_val in D.items():
+        if d_val > c:
+            prob += r[v] - r[u] <= W[(u, v)] - 1
+    for u in r:
+        for v in r:
+            if u != v:
+                prob += r[u] - r[v] <= s
+    status = prob.solve(pulp.PULP_CBC_CMD(msg=False))
+    if pulp.LpStatus[status] != "Optimal":
+        return None
+    witness = Retiming(
+        g, {name: int(round(var.value())) for name, var in r.items()}
+    ).normalized()
+    achieved = cycle_period(witness.apply())
+    if achieved > c:
+        raise AssertionError(
+            f"oracle self-check failed: ILP witness for c={c} achieves {achieved}"
+        )
+    return witness
+
+
+def ilp_cycle_period(
+    g: DFG, *, timeout: float | None = None
+):  # pragma: no cover - requires pulp
+    """Certified minimum cycle period with ILP feasibility probes.
+
+    Same bounds, search and bounded-gap degradation as the lattice
+    backend (see :func:`repro.optimal.period.optimal_cycle_period`);
+    returns an :class:`~repro.optimal.period.OptimalPeriod` with
+    ``backend="ilp"``.
+    """
+    _require_pulp()
+    from .period import OptimalPeriod, period_lower_bound
+
+    lower = period_lower_bound(g)
+    best_r = Retiming.zero(g).normalized()
+    best_c = cycle_period(g)
+    probes = 0
+    if best_c > lower:
+        wd = wd_matrices_python(g)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        lo, hi = lower, best_c - 1
+        while lo <= hi:
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            probes += 1
+            c = (lo + hi) // 2
+            witness = ilp_retime_for_period(g, c, wd=wd)
+            if witness is None:
+                lo = c + 1
+            else:
+                best_c = cycle_period(witness.apply())
+                best_r = witness
+                hi = best_c - 1
+        lower = lo
+    return OptimalPeriod(
+        graph=g.name,
+        period=best_c,
+        optimum_lower=lower,
+        proven=best_c == lower,
+        retiming=best_r,
+        probes=probes,
+        backend="ilp",
+    )

@@ -1,0 +1,281 @@
+"""Exact resource-constrained modulo scheduling (branch-and-bound).
+
+The heuristic in :mod:`repro.schedule.modulo` is classic iterative modulo
+scheduling — budgeted eviction, no backtracking, no optimality claim.
+This module answers the same question exactly: the smallest initiation
+interval ``II`` at which a modulo schedule of ``g`` under a
+:class:`~repro.schedule.resources.ResourceModel` exists.
+
+The decision procedure at a fixed ``II`` splits the schedule
+``start(v) = II * sigma(v) + slot(v)`` into its two halves:
+
+* **slots** (``start mod II``) are assigned by depth-first search with
+  modulo-reservation-table pruning — the same set-per-``(slot, kind)``
+  occupancy semantics as the heuristic's MRT, so the two sides are
+  comparing the same feasibility notion.  Rotating every start by a
+  constant shifts all slots uniformly and preserves both dependences and
+  occupancy, so the first node is pinned to slot 0 (symmetry breaking);
+* **stages** (``start div II``) are then a difference-constraint system:
+  ``sigma(u) - sigma(v) <= d(e) - ceil((slot(u) + t(u) - slot(v)) / II)``
+  per edge — solved by the library's Bellman–Ford, with the witness
+  schedule reassembled and re-verified against every dependence.
+
+``II`` scans upward from ``MII = max(ResMII, RecMII)``, so the first hit
+is provably optimal.  With no resource constraints the search collapses:
+``II* = max(1, ceil(B(G)))`` exactly (the stage system alone is feasible
+iff ``II >= B(G)``), which the tests use as an independent cross-check.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+from ..graph.dfg import DFG, DFGError
+from ..graph.validate import validate
+from ..observability import count, span
+from ..retiming.constraints import DifferenceConstraints
+from ..schedule.modulo import minimum_initiation_interval, modulo_schedule
+from ..schedule.resources import ResourceModel
+
+__all__ = ["OptimalII", "optimal_initiation_interval"]
+
+
+class _SearchBudgetExceeded(Exception):
+    """Internal: deadline or node budget hit mid-search."""
+
+
+@dataclass(frozen=True)
+class OptimalII:
+    """Certificate for the minimum initiation interval.
+
+    ``ii`` is witnessed by ``start`` (a verified schedule);
+    ``optimum_lower`` is certified (``MII`` plus every exhausted smaller
+    ``II``), so the true optimum lies in ``[optimum_lower, ii]``.
+    """
+
+    graph: str
+    ii: int
+    optimum_lower: int
+    proven: bool
+    start: dict[str, int]
+    explored: int
+    backend: str = "bnb"
+
+    @property
+    def gap(self) -> int:
+        return self.ii - self.optimum_lower
+
+
+def _schedule_for_slots(
+    g: DFG, ii: int, slots: dict[str, int]
+) -> dict[str, int] | None:
+    """Extend a full slot assignment to verified start times, or ``None``."""
+    system = DifferenceConstraints()
+    for n in g.node_names():
+        system.add_variable(n)
+    for e in g.edges():
+        rhs = e.delay - math.ceil(
+            (slots[e.src] + g.node(e.src).time - slots[e.dst]) / ii
+        )
+        if e.src == e.dst:
+            if rhs < 0:
+                return None
+            continue
+        system.add(e.src, e.dst, rhs)
+    stages = system.solve()
+    if stages is None:
+        return None
+    base = -min(stages.values())
+    start = {n: ii * (int(stages[n]) + base) + slots[n] for n in stages}
+    for e in g.edges():
+        if start[e.dst] < start[e.src] + g.node(e.src).time - ii * e.delay:
+            raise AssertionError(
+                "oracle self-check failed: stage witness violates a dependence"
+            )
+    return start
+
+
+def _unconstrained_schedule(g: DFG, ii: int) -> dict[str, int] | None:
+    """Verified start times at ``II = ii`` with no resource constraints.
+
+    Solves ``start(u) - start(v) <= II * d(e) - t(u)`` per edge
+    ``u -> v`` directly (no slot/stage split needed when the reservation
+    table never binds).
+    """
+    system = DifferenceConstraints()
+    for n in g.node_names():
+        system.add_variable(n)
+    for e in g.edges():
+        rhs = ii * e.delay - g.node(e.src).time
+        if e.src == e.dst:
+            if rhs < 0:
+                return None
+            continue
+        system.add(e.src, e.dst, rhs)
+    solution = system.solve()
+    if solution is None:
+        return None
+    base = -min(solution.values())
+    start = {n: int(solution[n]) + base for n in solution}
+    for e in g.edges():
+        if start[e.dst] < start[e.src] + g.node(e.src).time - ii * e.delay:
+            raise AssertionError(
+                "oracle self-check failed: unconstrained witness violates "
+                "a dependence"
+            )
+    return start
+
+
+def _exact_decision(
+    g: DFG,
+    ii: int,
+    resources: ResourceModel,
+    deadline: float | None,
+    node_budget: int | None,
+    explored: list[int],
+) -> dict[str, int] | None:
+    """Is there a modulo schedule of ``g`` at exactly this ``II``?
+
+    DFS over slot assignments in a most-constrained-first node order,
+    pruning on MRT capacity; each resource-feasible leaf is decided by the
+    stage difference-constraint system.  Raises
+    :class:`_SearchBudgetExceeded` on deadline/budget expiry.
+    """
+    names = sorted(
+        g.node_names(),
+        key=lambda n: (
+            -(resources.capacity(resources.kind_of(g.node(n))) < 10**9),
+            resources.capacity(resources.kind_of(g.node(n))),
+            -g.node(n).time,
+            n,
+        ),
+    )
+    slots: dict[str, int] = {}
+    mrt: dict[tuple[int, str], set[str]] = {}
+
+    def occupied(node: str, s0: int) -> list[tuple[int, str]]:
+        kind = resources.kind_of(g.node(node))
+        return [((s0 + dt) % ii, kind) for dt in range(g.node(node).time)]
+
+    def fits(node: str, s0: int) -> bool:
+        kind = resources.kind_of(g.node(node))
+        cap = resources.capacity(kind)
+        return all(len(mrt.get(key, ())) < cap for key in occupied(node, s0))
+
+    def dfs(i: int) -> dict[str, int] | None:
+        explored[0] += 1
+        if node_budget is not None and explored[0] > node_budget:
+            raise _SearchBudgetExceeded
+        if deadline is not None and explored[0] % 64 == 0:
+            if time.monotonic() >= deadline:
+                raise _SearchBudgetExceeded
+        if i == len(names):
+            return _schedule_for_slots(g, ii, slots)
+        node = names[i]
+        # Symmetry: any schedule rotates so the first-ordered node sits
+        # at slot 0, preserving occupancy and dependences alike.
+        candidates = range(1) if i == 0 else range(ii)
+        for s0 in candidates:
+            if not fits(node, s0):
+                continue
+            slots[node] = s0
+            for key in occupied(node, s0):
+                mrt.setdefault(key, set()).add(node)
+            found = dfs(i + 1)
+            for key in occupied(node, s0):
+                mrt[key].discard(node)
+            del slots[node]
+            if found is not None:
+                return found
+        return None
+
+    return dfs(0)
+
+
+def optimal_initiation_interval(
+    g: DFG,
+    resources: ResourceModel | None = None,
+    *,
+    max_ii: int | None = None,
+    timeout: float | None = None,
+    node_budget: int | None = None,
+) -> OptimalII:
+    """The certified minimum initiation interval of ``g`` under
+    ``resources`` (default: unconstrained).
+
+    Scans ``II`` upward from ``MII``; the first exactly-decided feasible
+    ``II`` is proven optimal.  ``timeout`` / ``node_budget`` bound the
+    search: on expiry the result degrades to the heuristic scheduler's
+    witness with a certified lower bound (``proven=False`` unless they
+    happen to coincide), mirroring the period oracle's bounded-gap
+    contract.
+    """
+    validate(g)
+    resources = resources if resources is not None else ResourceModel.unconstrained()
+    ceiling = max_ii if max_ii is not None else g.total_time
+    mii = minimum_initiation_interval(g, resources)
+    deadline = None if timeout is None else time.monotonic() + timeout
+    explored = [0]
+
+    with span("oracle.modulo", graph=g.name, nodes=g.num_nodes) as sp:
+        if resources.is_unconstrained():
+            # No reservation table: start times alone decide feasibility.
+            # The start system has a negative cycle iff II < T(C)/D(C) for
+            # some cycle C, so II = max(1, ceil(B(G))) = RecMII is exactly
+            # optimal and one Bellman-Ford solve produces the witness.
+            start = _unconstrained_schedule(g, mii)
+            if start is None:  # pragma: no cover - contradicts RecMII
+                raise AssertionError(
+                    "oracle self-check failed: unconstrained schedule "
+                    "infeasible at RecMII"
+                )
+            sp.set(ii=mii, proven=True)
+            count("oracle.modulo_nodes", explored[0])
+            return OptimalII(
+                graph=g.name,
+                ii=mii,
+                optimum_lower=mii,
+                proven=True,
+                start=start,
+                explored=explored[0],
+            )
+
+        lower = mii
+        try:
+            for ii in range(mii, ceiling + 1):
+                lower = ii
+                found = _exact_decision(
+                    g, ii, resources, deadline, node_budget, explored
+                )
+                if found is not None:
+                    sp.set(ii=ii, proven=True, explored=explored[0])
+                    count("oracle.modulo_nodes", explored[0])
+                    return OptimalII(
+                        graph=g.name,
+                        ii=ii,
+                        optimum_lower=ii,
+                        proven=True,
+                        start=found,
+                        explored=explored[0],
+                    )
+        except _SearchBudgetExceeded:
+            pass
+        else:
+            raise DFGError(
+                f"{g.name}: no modulo schedule found up to II={ceiling} "
+                f"(MII was {mii}); raise max_ii"
+            )
+        # Degraded: hand back the heuristic witness with certified bounds.
+        heuristic = modulo_schedule(g, resources, max_ii=ceiling)
+        sp.set(ii=heuristic.ii, proven=heuristic.ii == lower, explored=explored[0])
+        count("oracle.modulo_nodes", explored[0])
+        return OptimalII(
+            graph=g.name,
+            ii=heuristic.ii,
+            optimum_lower=lower,
+            proven=heuristic.ii == lower,
+            start=dict(heuristic.start),
+            explored=explored[0],
+        )

@@ -9,7 +9,12 @@ and checks, per graph:
   computes exactly the original loop's array state;
 * **the order inequality** (Theorems 4.4/4.5): at a matched cycle period,
   ``S_{r,f} <= S_{f,r}`` — retime-then-unfold code is never larger than
-  unfold-then-retime code.
+  unfold-then-retime code;
+* **ground-truth optimality** (``oracle=True`` / ``--oracle``): one
+  ``"oracle"`` job per graph pins ``minimize_cycle_period`` (all three
+  methods), rotation scheduling and modulo scheduling against the exact
+  solvers of :mod:`repro.optimal` — certified bounds, per-graph
+  optimality gaps (:class:`OracleRecord`), and a rendered gap table.
 
 The sweep runs through the :class:`~repro.runner.engine.ExperimentEngine`,
 so it parallelizes across cores and re-runs are incremental: a 200-graph
@@ -28,6 +33,7 @@ from .jobs import Job, JobResult
 
 __all__ = [
     "DIFFTEST_TRANSFORMS",
+    "OracleRecord",
     "SweepFailure",
     "SweepReport",
     "differential_jobs",
@@ -63,8 +69,41 @@ class SweepFailure:
 
     seed: int
     label: str
-    kind: str  # "error" | "inequality" | "failed" | "timed_out"
+    kind: str  # "error" | "inequality" | "oracle" | "failed" | "timed_out"
     detail: str
+
+
+@dataclass(frozen=True)
+class OracleRecord:
+    """Per-graph oracle outcome: the gap-table row.
+
+    ``status`` mirrors :attr:`~repro.runner.jobs.JobResult.status` —
+    ``"ok"`` rows carry the certified numbers; ``"error"`` / ``"failed"``
+    / ``"timed_out"`` rows carry only the failure detail and render as
+    marker cells in the gap table.
+    """
+
+    seed: int
+    label: str
+    status: str
+    period: int | None = None
+    optimum_lower: int | None = None
+    proven: bool = False
+    gap: int | None = None
+    detail: str = ""
+
+    def as_row(self) -> dict:
+        """The mapping :func:`repro.analysis.tables.format_gap_table` eats."""
+        return {
+            "seed": self.seed,
+            "label": self.label,
+            "status": self.status,
+            "period": self.period,
+            "optimum_lower": self.optimum_lower,
+            "proven": self.proven,
+            "gap": self.gap,
+            "error": self.detail,
+        }
 
 
 @dataclass
@@ -75,11 +114,25 @@ class SweepReport:
     checks: int = 0
     equivalence_checks: int = 0
     inequality_checks: int = 0
+    oracle_checks: int = 0
     failures: list[SweepFailure] = field(default_factory=list)
+    oracle_records: list[OracleRecord] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return not self.failures
+
+    @property
+    def max_gap(self) -> int:
+        """Largest recorded oracle gap (0 when no oracle jobs ran)."""
+        gaps = [r.gap for r in self.oracle_records if r.gap is not None]
+        return max(gaps) if gaps else 0
+
+    def gap_table(self) -> str:
+        """The per-graph optimality-gap table (``--oracle`` runs)."""
+        from ..analysis.tables import format_gap_table
+
+        return format_gap_table(r.as_row() for r in self.oracle_records)
 
     def summary(self) -> str:
         status = "PASS" if self.ok else f"FAIL ({len(self.failures)} failures)"
@@ -90,6 +143,14 @@ class SweepReport:
             f"({self.equivalence_checks} equivalence, "
             f"{self.inequality_checks} inequality)",
         ]
+        if self.oracle_checks:
+            proven = sum(
+                1 for r in self.oracle_records if r.status == "ok" and r.proven
+            )
+            lines.append(
+                f"oracle      : {self.oracle_checks} graphs, "
+                f"{proven} proven optimal, max gap {self.max_gap}"
+            )
         for f in self.failures[:20]:
             lines.append(f"  [{f.kind}] seed={f.seed} {f.label}: {f.detail}")
         if len(self.failures) > 20:
@@ -117,8 +178,14 @@ def differential_jobs(
     max_nodes: int = 6,
     max_extra_edges: int = 5,
     transforms: tuple[str, ...] = DIFFTEST_TRANSFORMS,
+    oracle: bool = False,
+    oracle_timeout: float | None = None,
 ) -> list[Job]:
-    """All differential-test jobs for one seeded random graph."""
+    """All differential-test jobs for one seeded random graph.
+
+    With ``oracle``, one additional ``"oracle"`` job per graph runs the
+    exact solvers (bounded by ``oracle_timeout`` seconds, if given).
+    """
     graph_json = _graph_for_seed(seed, max_nodes, max_extra_edges)
     factorless = {"original", "pipelined", "csr-pipelined"}
     jobs: list[Job] = []
@@ -137,12 +204,26 @@ def differential_jobs(
                         verify=True,
                     )
                 )
+    if oracle:
+        jobs.append(
+            Job(
+                transform="oracle",
+                graph_json=graph_json,
+                factor=1,
+                trip_count=0,
+                verify=False,
+                oracle_timeout=oracle_timeout,
+            )
+        )
     return jobs
 
 
 def _check(result: JobResult, seed: int, report: SweepReport) -> None:
     payload = result.payload
     report.checks += 1
+    graph_name = result.job.label.split("/", 1)[0]
+    if result.job.transform == "oracle":
+        report.oracle_checks += 1
     if not result.ok:
         detail = f"{payload.get('error_type')}: {payload.get('error')}"
         if result.outcome is not None and result.outcome.status != "ok":
@@ -152,6 +233,17 @@ def _check(result: JobResult, seed: int, report: SweepReport) -> None:
                 f" (attempts={result.outcome.attempts}, "
                 f"faults: {', '.join(result.outcome.faults) or 'none'})"
             )
+        if result.job.transform == "oracle":
+            # A dead oracle job still gets a gap-table row, rendered as
+            # a FAILED / TIMED_OUT / ERROR marker.
+            report.oracle_records.append(
+                OracleRecord(
+                    seed=seed,
+                    label=graph_name,
+                    status=result.status if result.status != "ok" else "error",
+                    detail=detail,
+                )
+            )
         report.failures.append(
             SweepFailure(
                 seed=seed,
@@ -160,6 +252,40 @@ def _check(result: JobResult, seed: int, report: SweepReport) -> None:
                 detail=detail,
             )
         )
+        return
+    if result.job.transform == "oracle":
+        report.oracle_records.append(
+            OracleRecord(
+                seed=seed,
+                label=graph_name,
+                status="ok",
+                period=payload.get("period_optimal"),
+                optimum_lower=payload.get("optimum_lower"),
+                proven=bool(payload.get("proven")),
+                gap=payload.get("gap"),
+            )
+        )
+        if not payload.get("bounds_ok", True):
+            report.failures.append(
+                SweepFailure(
+                    seed=seed,
+                    label=result.job.label,
+                    kind="oracle",
+                    detail="; ".join(payload.get("violations", [])),
+                )
+            )
+        elif payload.get("proven") and payload.get("gap"):
+            report.failures.append(
+                SweepFailure(
+                    seed=seed,
+                    label=result.job.label,
+                    kind="oracle",
+                    detail=(
+                        f"gap {payload.get('gap')} at proven optimum "
+                        f"{payload.get('period_optimal')}"
+                    ),
+                )
+            )
         return
     if result.job.transform == "orders":
         report.inequality_checks += 1
@@ -189,12 +315,15 @@ def differential_sweep(
     max_extra_edges: int = 5,
     engine: ExperimentEngine | None = None,
     transforms: tuple[str, ...] = DIFFTEST_TRANSFORMS,
+    oracle: bool = False,
+    oracle_timeout: float | None = None,
 ) -> SweepReport:
     """Run the randomized differential sweep and collect a report.
 
     Graph seeds are ``seed .. seed + num_graphs - 1``; everything
     downstream is a deterministic function of the seed, so the sweep is
     reproducible (and cacheable) across machines and process pools.
+    ``oracle`` adds the ground-truth optimality battery per graph.
     """
     engine = engine if engine is not None else ExperimentEngine()
     report = SweepReport(graphs=num_graphs)
@@ -208,6 +337,8 @@ def differential_sweep(
             max_nodes=max_nodes,
             max_extra_edges=max_extra_edges,
             transforms=transforms,
+            oracle=oracle,
+            oracle_timeout=oracle_timeout,
         )
         all_jobs.extend(jobs)
         job_seeds.extend([s] * len(jobs))

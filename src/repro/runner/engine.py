@@ -437,7 +437,7 @@ class ExperimentEngine:
         params = [j.to_params() for j in jobs]
         labels = [j.label for j in jobs]
         detailed = self._map_detailed("job", execute_job, params, labels)
-        return [
+        results = [
             JobResult(
                 job=job,
                 payload=payload,
@@ -447,6 +447,16 @@ class ExperimentEngine:
             )
             for job, (payload, cached, wall, outcome) in zip(jobs, detailed)
         ]
+        for res in results:
+            # Oracle jobs carry their optimality gap on the outcome record
+            # too, so --outcomes-out artifacts expose it per job.
+            if (
+                res.job.transform == "oracle"
+                and res.outcome is not None
+                and res.ok
+            ):
+                res.outcome.oracle_gap = res.payload.get("gap")
+        return results
 
     # -- reporting -----------------------------------------------------
 

@@ -23,7 +23,7 @@ from ..codegen.combined import retimed_unfolded_loop, unfold_retimed_loop
 from ..codegen.original import original_loop
 from ..codegen.pipelined import pipelined_loop
 from ..codegen.unfolded import unfolded_loop
-from ..core.codesize import size_retime_unfold, size_unfold_retime
+from ..core.codesize import size_pipelined, size_retime_unfold, size_unfold_retime
 from ..core.combined_csr import csr_retimed_unfolded_loop, csr_unfold_retimed_loop
 from ..core.csr import csr_pipelined_loop
 from ..core.predicated import PER_COPY, PER_ITERATION
@@ -32,8 +32,11 @@ from ..core.verify import assert_equivalent
 from ..graph.dfg import DFG, DFGError
 from ..graph.serialize import from_json, to_json
 from ..machine.vm import run_program
-from ..observability import span
-from ..retiming.optimal import minimize_cycle_period
+from ..observability import OBS, count, span
+from ..optimal import minimal_code_size, optimal_cycle_period, optimal_initiation_interval
+from ..retiming.optimal import minimize_cycle_period, retime_for_period
+from ..schedule.modulo import modulo_schedule
+from ..schedule.rotation import rotation_schedule
 from ..unfolding.orders import retime_unfold, unfold_retime
 from ..workloads.registry import get_workload
 from .resilience import JobOutcome
@@ -43,6 +46,8 @@ __all__ = ["Job", "JobResult", "TRANSFORMS", "execute_job", "jobs_for_matrix"]
 #: Transformation names accepted by :class:`Job`, in canonical order.
 #: ``orders`` is the Theorem 4.4/4.5 comparison: both retiming+unfolding
 #: orders at the same period, sizes and the ``S_{r,f} <= S_{f,r}`` check.
+#: ``oracle`` pins the heuristic stack against the exact solvers of
+#: :mod:`repro.optimal` (certified optimum, bounds, optimality gaps).
 TRANSFORMS: tuple[str, ...] = (
     "original",
     "pipelined",
@@ -55,6 +60,7 @@ TRANSFORMS: tuple[str, ...] = (
     "unfold-retime",
     "csr-unfold-retime",
     "orders",
+    "oracle",
 )
 
 
@@ -75,6 +81,9 @@ class Job:
     trip_count: int = 20
     verify: bool = True
     trace: bool = False
+    #: Oracle search deadline in seconds (``"oracle"`` transform only):
+    #: on expiry the oracle degrades to a bounded-gap certificate.
+    oracle_timeout: float | None = None
 
     def __post_init__(self) -> None:
         if self.transform not in TRANSFORMS:
@@ -101,6 +110,7 @@ class Job:
             "trip_count": self.trip_count,
             "verify": self.verify,
             "trace": self.trace,
+            "oracle_timeout": self.oracle_timeout,
         }
 
     @property
@@ -237,6 +247,92 @@ def _orders_payload(g: DFG, f: int, n: int, verify: bool) -> dict:
     return payload
 
 
+def _oracle_payload(g: DFG, timeout: float | None) -> dict:
+    """Ground-truth verification payload: the heuristic stack vs. the
+    exact oracle (:mod:`repro.optimal`) on one graph.
+
+    Any heuristic result that escapes the oracle's *proven bounds* is a
+    correctness bug and lands in ``violations`` (the sweep turns those
+    into failures); results merely above an unproven lower bound are
+    recorded as gaps, not violations — a timed-out oracle degrades the
+    check, never fakes a pass.
+    """
+    opt = optimal_cycle_period(g, timeout=timeout)
+    periods = {
+        m: minimize_cycle_period(g, method=m)[0]
+        for m in ("reference", "shared", "incremental")
+    }
+    violations: list[str] = []
+    if len(set(periods.values())) != 1:
+        violations.append(f"minimize_cycle_period methods disagree: {periods}")
+    for m, p in periods.items():
+        if p < opt.optimum_lower:
+            violations.append(
+                f"method={m} period {p} beats the certified lower bound "
+                f"{opt.optimum_lower}"
+            )
+        elif opt.proven and p != opt.period:
+            violations.append(
+                f"method={m} period {p} != proven optimum {opt.period}"
+            )
+    if opt.proven:
+        # Both directions of the OPT retiming: feasible at the optimum,
+        # infeasible strictly below it.
+        if retime_for_period(g, opt.period) is None:
+            violations.append(
+                f"retime_for_period infeasible at the proven optimum {opt.period}"
+            )
+        if opt.period > 1 and retime_for_period(g, opt.period - 1) is not None:
+            violations.append(
+                f"retime_for_period feasible below the proven optimum {opt.period}"
+            )
+    rot = rotation_schedule(g)
+    if rot.length < opt.optimum_lower:
+        violations.append(
+            f"rotation schedule length {rot.length} beats the certified "
+            f"lower bound {opt.optimum_lower}"
+        )
+    oii = optimal_initiation_interval(g, timeout=timeout)
+    ms = modulo_schedule(g)
+    if ms.ii < oii.optimum_lower:
+        violations.append(
+            f"modulo schedule II {ms.ii} beats the certified lower bound "
+            f"{oii.optimum_lower}"
+        )
+    size_opt, r_min = minimal_code_size(g, opt.period)
+    _, r_heur = minimize_cycle_period(g)
+    size_heur = size_pipelined(g, r_heur)
+    if size_heur < size_opt:
+        violations.append(
+            f"heuristic pipelined size {size_heur} beats the proven "
+            f"optimal size {size_opt} at period {opt.period}"
+        )
+    gap = periods["incremental"] - opt.optimum_lower
+    count("oracle.graphs")
+    if OBS.enabled:
+        OBS.metrics.histogram(
+            "oracle.gap", "heuristic period minus certified optimum lower bound"
+        ).observe(gap)
+    return {
+        "period_optimal": opt.period,
+        "optimum_lower": opt.optimum_lower,
+        "proven": opt.proven,
+        "probes": opt.probes,
+        "periods": periods,
+        "gap": gap,
+        "rotation_length": rot.length,
+        "rotation_gap": rot.length - opt.optimum_lower,
+        "modulo_ii": ms.ii,
+        "modulo_ii_optimal": oii.ii,
+        "modulo_gap": ms.ii - oii.optimum_lower,
+        "optimal_code_size": size_opt,
+        "heuristic_code_size": size_heur,
+        "min_max_retiming": r_min.max_value,
+        "violations": violations,
+        "bounds_ok": not violations,
+    }
+
+
 def execute_job(params: dict) -> dict:
     """Process-pool worker: run one job described by ``Job.to_params()``.
 
@@ -257,7 +353,9 @@ def execute_job(params: dict) -> dict:
 def _execute_job_payload(params: dict, transform: str, f: int, n: int) -> dict:
     try:
         g = from_json(params["graph"])
-        if transform == "orders":
+        if transform == "oracle":
+            payload = _oracle_payload(g, params.get("oracle_timeout"))
+        elif transform == "orders":
             payload = _orders_payload(g, f, n, params["verify"])
         else:
             program, n_eff, extras = _program_for(g, transform, f, n)
@@ -296,10 +394,10 @@ def jobs_for_matrix(
     """The full cross product, skipping factor-irrelevant duplicates.
 
     Transforms that ignore the unfolding factor (``original``,
-    ``pipelined``, ``csr-pipelined``) appear once per trip count rather
-    than once per factor.
+    ``pipelined``, ``csr-pipelined``, ``oracle``) appear once per trip
+    count rather than once per factor.
     """
-    factorless = {"original", "pipelined", "csr-pipelined"}
+    factorless = {"original", "pipelined", "csr-pipelined", "oracle"}
     jobs: list[Job] = []
     for w in workloads:
         for t in transforms:

@@ -410,6 +410,10 @@ class JobOutcome:
     journal on ``--resume`` (the unit was *not* re-executed this run);
     ``respawned`` counts the supervised-pool workers that died or hung
     while holding this unit and were replaced before it completed.
+
+    ``oracle_gap`` is set (by the engine, from the payload) only for
+    ``"oracle"`` jobs that completed: the heuristic cycle period minus
+    the oracle's certified lower bound — 0 means proven optimal.
     """
 
     label: str
@@ -419,6 +423,7 @@ class JobOutcome:
     error: str | None = None
     resumed: bool = False
     respawned: int = 0
+    oracle_gap: int | None = None
 
     @property
     def retried(self) -> int:
@@ -434,6 +439,7 @@ class JobOutcome:
             "error": self.error,
             "resumed": self.resumed,
             "respawned": self.respawned,
+            "oracle_gap": self.oracle_gap,
         }
 
     @classmethod
@@ -446,6 +452,7 @@ class JobOutcome:
             error=doc.get("error"),
             resumed=bool(doc.get("resumed", False)),
             respawned=int(doc.get("respawned", 0)),
+            oracle_gap=doc.get("oracle_gap"),
         )
 
 

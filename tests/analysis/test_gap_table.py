@@ -1,0 +1,80 @@
+"""The oracle gap table and the status-aware FailedCell degradation."""
+
+from __future__ import annotations
+
+from repro.analysis import format_gap_table
+from repro.analysis.experiments import FailedCell, _failed_cell
+from repro.analysis.tables import GAP_TABLE_HEADERS
+from repro.runner.difftest import OracleRecord
+
+
+class TestFormatGapTable:
+    def test_ok_rows_render_certificate_columns(self):
+        record = OracleRecord(
+            seed=7, label="rand7", status="ok",
+            period=3, optimum_lower=3, proven=True, gap=0,
+        )
+        text = format_gap_table([record.as_row()])
+        header, rule, row = text.splitlines()
+        for col in GAP_TABLE_HEADERS:
+            assert col in header
+        assert rule.strip("- ") == ""
+        assert "rand7" in row and "yes" in row
+
+    def test_unproven_row_shows_gap(self):
+        record = OracleRecord(
+            seed=1, label="rand1", status="ok",
+            period=5, optimum_lower=3, proven=False, gap=2,
+        )
+        row = format_gap_table([record.as_row()]).splitlines()[-1]
+        assert "no" in row
+        assert row.rstrip().endswith("2")
+
+    def test_non_ok_rows_render_status_markers(self):
+        rows = [
+            OracleRecord(seed=0, label="rand0", status="failed").as_row(),
+            OracleRecord(seed=1, label="rand1", status="timed_out").as_row(),
+            OracleRecord(seed=2, label="rand2", status="error").as_row(),
+        ]
+        text = format_gap_table(rows)
+        assert text.count("FAILED") == 4
+        assert text.count("TIMED_OUT") == 4
+        assert text.count("ERROR") == 4
+
+    def test_mixed_table_stays_rectangular(self):
+        rows = [
+            OracleRecord(
+                seed=0, label="rand0", status="ok",
+                period=2, optimum_lower=2, proven=True, gap=0,
+            ).as_row(),
+            OracleRecord(seed=1, label="rand1", status="failed").as_row(),
+        ]
+        lines = format_gap_table(rows).splitlines()
+        assert len(lines) == 4
+        assert len({len(line) for line in lines}) == 1
+
+    def test_empty_table_is_just_the_header(self):
+        assert len(format_gap_table([]).splitlines()) == 2
+
+
+class TestFailedCellStatus:
+    def test_engine_level_status_is_preserved(self):
+        payload = {
+            "ok": False,
+            "status": "timed_out",
+            "error": "deadline exceeded",
+            "error_type": "JobTimeoutError",
+        }
+        cell = _failed_cell(payload, name="iir", label="IIR")
+        assert isinstance(cell, FailedCell)
+        assert cell.status == "timed_out"
+        assert cell.error == "deadline exceeded"
+
+    def test_in_band_errors_default_to_error_status(self):
+        # Pre-resilience payloads carry no "status" key at all; the cell
+        # must not claim an engine-level failure for them.
+        cell = _failed_cell({"ok": False, "error": "zero-delay cycle"})
+        assert cell.status == "error"
+
+    def test_ok_payload_yields_no_cell(self):
+        assert _failed_cell({"ok": True}) is None

@@ -1,0 +1,122 @@
+"""Property suite: the exact oracle vs. brute-force enumeration.
+
+The oracle (:mod:`repro.optimal`) is itself nontrivial, so these tests pin
+it against the dumbest possible ground truth: enumerate every legal
+normalized retiming in the optimum-containing box ``[0, |V| - 1]^V`` and
+take the minimum directly.  Agreement is checked in *both* directions —
+the oracle is never better than the enumerated optimum (its witness is a
+real retiming) and never worse (its lower bound is real).
+
+``ORACLE_EXAMPLES`` scales the example count (CI runs 500+; the local
+default keeps the suite quick).  Graphs whose enumeration box exceeds the
+state budget are *rejected*, never silently passed.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import HealthCheck, assume, given, settings
+
+from repro.graph.period import cycle_period
+from repro.optimal import (
+    BruteForceBudgetExceeded,
+    brute_force_cycle_period,
+    brute_force_initiation_interval,
+    brute_force_min_max_retiming,
+    enumerate_normalized_retimings,
+    optimal_cycle_period,
+    optimal_initiation_interval,
+    minimize_max_retiming,
+)
+from repro.retiming import minimize_cycle_period
+from repro.schedule.resources import ResourceModel
+
+from ..conftest import dfgs
+
+EXAMPLES = int(os.environ.get("ORACLE_EXAMPLES", "60"))
+
+#: Large boxes get rejected via BruteForceBudgetExceeded -> assume(False);
+#: that is by design, so the filter health check must be off.
+oracle_settings = settings(
+    max_examples=EXAMPLES,
+    deadline=None,
+    suppress_health_check=[HealthCheck.filter_too_much, HealthCheck.too_slow],
+)
+
+
+#: Tight state budget so oversized boxes get rejected in milliseconds —
+#: the point is many small exhaustive examples, not a few giant ones.
+BUDGET = 20_000
+
+
+@given(dfgs(max_nodes=12))
+@oracle_settings
+def test_oracle_period_equals_enumerated_optimum(g):
+    """Both directions: oracle == min over every enumerable retiming —
+    and so does the production heuristic, grounded without the oracle."""
+    try:
+        bf_period, bf_witness = brute_force_cycle_period(g, budget=BUDGET)
+    except BruteForceBudgetExceeded:
+        assume(False)
+    opt = optimal_cycle_period(g)
+    assert opt.proven, f"oracle left a gap on a {g.num_nodes}-node graph"
+    assert opt.gap == 0
+    # Not better: the oracle's own witness really achieves its period.
+    assert cycle_period(opt.retiming.apply()) == opt.period
+    # Not worse: no enumerated retiming beats it, and one matches it.
+    assert opt.period == bf_period
+    assert cycle_period(bf_witness.apply()) == bf_period
+    assert opt.optimum_lower <= bf_period
+    heuristic_period, r = minimize_cycle_period(g)
+    assert heuristic_period == bf_period
+    assert cycle_period(r.apply()) == bf_period
+
+
+@given(dfgs(max_nodes=10))
+@oracle_settings
+def test_min_max_retiming_equals_enumerated_optimum(g):
+    """Minimal M_r at the optimal period matches exhaustive search."""
+    opt = optimal_cycle_period(g)
+    try:
+        bf_m = brute_force_min_max_retiming(g, opt.period, budget=BUDGET)
+    except BruteForceBudgetExceeded:
+        assume(False)
+    assert bf_m is not None  # the oracle's own witness is in the box
+    r = minimize_max_retiming(g, opt.period)
+    assert r is not None
+    assert r.max_value == bf_m
+    assert r.min_value == 0
+    assert cycle_period(r.apply()) <= opt.period
+
+
+@given(dfgs(max_nodes=5, max_extra_edges=4))
+@oracle_settings
+def test_enumeration_yields_legal_normalized_retimings(g):
+    """The ground truth itself is sane: every yielded retiming is legal
+    (no negative retimed delay), normalized, and the zero retiming — the
+    trivially legal one — is always present."""
+    try:
+        rs = list(enumerate_normalized_retimings(g))
+    except BruteForceBudgetExceeded:
+        assume(False)
+    assert any(all(v == 0 for v in r.as_dict().values()) for r in rs)
+    for r in rs:
+        assert r.min_value == 0
+        assert r.is_legal()
+
+
+@given(dfgs(max_nodes=4, max_extra_edges=3))
+@oracle_settings
+def test_modulo_oracle_equals_enumerated_optimum(g):
+    """Branch-and-bound II == full slot-product enumeration II, under a
+    genuinely binding resource model (one ALU, one multiplier)."""
+    resources = ResourceModel(units={"alu": 1, "mul": 1})
+    try:
+        bf_ii = brute_force_initiation_interval(g, resources)
+    except BruteForceBudgetExceeded:
+        assume(False)
+    opt = optimal_initiation_interval(g, resources)
+    assert opt.proven
+    assert opt.ii == bf_ii
+    assert opt.optimum_lower == bf_ii

@@ -1,0 +1,27 @@
+"""The optional pulp ILP backend: gating when absent, parity when present."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.optimal import HAVE_PULP, OptimalBackendError, optimal_cycle_period
+
+
+@pytest.mark.skipif(HAVE_PULP, reason="pulp installed: the gate is open")
+def test_missing_pulp_is_a_clear_error(fig1):
+    """Without pulp the ILP backend must fail loudly, pointing at both the
+    install and the always-available lattice fallback."""
+    with pytest.raises(OptimalBackendError) as exc:
+        optimal_cycle_period(fig1, backend="ilp")
+    message = str(exc.value)
+    assert "pulp" in message
+    assert "lattice" in message
+
+
+@pytest.mark.skipif(not HAVE_PULP, reason="pulp not installed")
+def test_ilp_backend_agrees_with_lattice(bench_graph):  # pragma: no cover
+    lattice = optimal_cycle_period(bench_graph)
+    ilp = optimal_cycle_period(bench_graph, backend="ilp")
+    assert ilp.backend == "ilp"
+    assert ilp.period == lattice.period
+    assert ilp.proven

@@ -1,0 +1,135 @@
+"""Oracle mode of the differential sweep: gap records, the rendered gap
+table, JobOutcome propagation, and the FAILED-cell flow into the report."""
+
+from __future__ import annotations
+
+from repro.__main__ import main
+from repro.runner import (
+    ExperimentEngine,
+    FaultPlan,
+    FaultSpec,
+    Job,
+    JobOutcome,
+    RetryPolicy,
+    differential_jobs,
+    differential_sweep,
+    resilience,
+)
+
+
+class TestOracleSweep:
+    def test_small_oracle_sweep_has_zero_gap(self):
+        report = differential_sweep(
+            num_graphs=8,
+            transforms=("original",),
+            oracle=True,
+            engine=ExperimentEngine(jobs=1, cache=None),
+        )
+        assert report.ok, report.summary()
+        assert report.oracle_checks == 8
+        assert len(report.oracle_records) == 8
+        assert all(r.status == "ok" for r in report.oracle_records)
+        assert all(r.proven for r in report.oracle_records)
+        assert report.max_gap == 0
+        assert "proven optimal" in report.summary()
+        table = report.gap_table()
+        assert "period*" in table and "gap" in table
+        # One data row per graph, every one proven.
+        assert table.count("yes") == 8
+
+    def test_oracle_jobs_are_opt_in(self):
+        assert all(j.transform != "oracle" for j in differential_jobs(0))
+        jobs = differential_jobs(0, oracle=True, oracle_timeout=1.5)
+        oracle_jobs = [j for j in jobs if j.transform == "oracle"]
+        assert len(oracle_jobs) == 1
+        assert oracle_jobs[0].oracle_timeout == 1.5
+        # The deadline is part of the cache key: a timed-out certificate
+        # must never be served to a run with a different budget.
+        assert oracle_jobs[0].to_params()["oracle_timeout"] == 1.5
+
+    def test_engine_propagates_gap_into_job_outcome(self):
+        engine = ExperimentEngine(jobs=1, cache=None)
+        (res,) = engine.run_jobs([Job(transform="oracle", workload="iir")])
+        assert res.ok
+        assert res.payload["proven"]
+        assert res.payload["bounds_ok"]
+        assert res.outcome is not None
+        assert res.outcome.oracle_gap == 0
+        # Survives the journal round-trip.
+        doc = res.outcome.as_dict()
+        assert doc["oracle_gap"] == 0
+        assert JobOutcome.from_dict(doc).oracle_gap == 0
+
+    def test_non_oracle_outcomes_keep_null_gap(self):
+        engine = ExperimentEngine(jobs=1, cache=None)
+        (res,) = engine.run_jobs([Job(transform="pipelined", workload="iir")])
+        assert res.ok
+        assert res.outcome is not None
+        assert res.outcome.oracle_gap is None
+
+    def test_failed_oracle_job_becomes_a_marker_row(self):
+        """Satellite of the FailedCell fix: an oracle job whose retries
+        are exhausted must flow into the report as a FAILED gap-table row,
+        not crash the sweep and not vanish from the table."""
+        resilience.activate(
+            FaultPlan([FaultSpec(site="job.start", match="*oracle*", times=0)])
+        )
+        report = differential_sweep(
+            num_graphs=2,
+            transforms=("original",),
+            oracle=True,
+            engine=ExperimentEngine(
+                jobs=1,
+                cache=None,
+                retry=RetryPolicy(max_attempts=2, backoff=0.0),
+            ),
+        )
+        assert not report.ok
+        oracle_failures = [f for f in report.failures if "/oracle/" in f.label]
+        assert len(oracle_failures) == 2
+        assert all(f.kind == "failed" for f in oracle_failures)
+        assert all("attempts=2" in f.detail for f in oracle_failures)
+        # Only the oracle jobs were faulted; the rest of the sweep passed.
+        assert len(report.failures) == 2
+        markers = [r for r in report.oracle_records if r.status != "ok"]
+        assert len(markers) == 2
+        assert all(r.gap is None for r in markers)
+        table = report.gap_table()
+        assert table.count("FAILED") == 2 * 4  # four marker cells per row
+
+    def test_oracle_sweep_is_deterministic(self):
+        a = differential_sweep(
+            num_graphs=3, transforms=("original",), oracle=True
+        )
+        b = differential_sweep(
+            num_graphs=3, transforms=("original",), oracle=True
+        )
+        assert a.oracle_records == b.oracle_records
+        assert a.gap_table() == b.gap_table()
+
+
+class TestOracleCLI:
+    def test_sweep_oracle_flag_writes_gap_table(self, tmp_path, capsys):
+        out = tmp_path / "gaps.txt"
+        rc = main(
+            [
+                "sweep",
+                "--graphs",
+                "3",
+                "--oracle",
+                "--no-cache",
+                "--gap-table-out",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        stdout = capsys.readouterr().out
+        assert "Oracle optimality gaps" in stdout
+        text = out.read_text()
+        assert "period*" in text
+        assert text.count("yes") == 3
+
+    def test_sweep_without_oracle_prints_no_gap_table(self, capsys):
+        rc = main(["sweep", "--graphs", "2", "--no-cache"])
+        assert rc == 0
+        assert "Oracle optimality gaps" not in capsys.readouterr().out
