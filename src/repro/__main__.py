@@ -217,6 +217,26 @@ def _cmd_sweep(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_serve(args) -> int:
+    """Run the retiming request server until SIGTERM/SIGINT, then drain."""
+    from .server import ServerConfig, serve_main
+
+    return serve_main(
+        ServerConfig(
+            host=args.host,
+            port=args.port,
+            socket=args.socket,
+            workers=args.workers,
+            max_inflight=args.max_inflight,
+            batch_max=args.batch_max,
+            shards=args.shards,
+            cache_dir=args.cache_dir,
+            no_cache=args.no_cache,
+            fault_plan=args.fault_plan,
+        )
+    )
+
+
 def _cmd_profile(args) -> int:
     """Per-stage time breakdown of the pipeline on one workload."""
     from .machine.vm import run_program
@@ -352,6 +372,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the VM without checking against the original loop",
     )
     p.set_defaults(fn=_cmd_profile)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the retiming request server (analyze/transform/oracle/"
+        "sweep over HTTP; see docs/SERVER.md)",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument("--port", type=int, default=8750, help="TCP port (0 = any)")
+    p.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="serve on a unix domain socket instead of TCP",
+    )
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="engine worker processes (1 = inline, 0 = one per CPU)",
+    )
+    p.add_argument(
+        "--max-inflight", type=int, default=128,
+        help="bounded request queue; beyond it requests shed with 503",
+    )
+    p.add_argument(
+        "--batch-max", type=int, default=16,
+        help="max queued requests coalesced into one engine dispatch",
+    )
+    p.add_argument(
+        "--shards", type=int, default=0,
+        help="result-cache shard directories (0 = unsharded layout)",
+    )
+    p.add_argument("--cache-dir", default=None, help="result cache location")
+    p.add_argument("--no-cache", action="store_true", help="disable the cache")
+    p.add_argument(
+        "--fault-plan", default=None, metavar="FILE",
+        help="activate a JSON fault-injection plan (testing)",
+    )
+    p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser(
         "sweep", help="randomized differential-testing sweep (all orders)"

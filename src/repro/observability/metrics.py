@@ -98,6 +98,27 @@ class Histogram:
         self.min = min(self.min, value)
         self.max = max(self.max, value)
 
+    def percentile(self, q: float) -> float | None:
+        """Bucket-resolution upper bound on the ``q``-th percentile.
+
+        Returns the smallest bucket upper bound whose cumulative count
+        covers at least ``q`` percent of observations (``self.max`` for
+        the overflow bucket), or ``None`` with no observations.
+        Deterministic — the soak tests use it as an op-counter-style
+        latency budget, never a wall-clock assertion.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self.count:
+            return None
+        rank = q / 100.0 * self.count
+        cumulative = 0
+        for bound, n in zip(self.bounds, self.buckets):
+            cumulative += n
+            if cumulative >= rank:
+                return float(bound)
+        return float(self.max)
+
     def as_dict(self) -> dict:
         return {
             "count": self.count,

@@ -96,6 +96,7 @@ def minimize_cycle_period(
     *,
     method: str = "incremental",
     verify: bool = False,
+    wd: tuple[dict, dict] | None = None,
 ) -> tuple[int, Retiming]:
     """The minimum cycle period achievable by retiming, with a witness.
 
@@ -107,6 +108,9 @@ def minimize_cycle_period(
     strategies return identical results.  ``verify=True`` additionally
     re-applies every feasible probe's witness and checks its period (always
     on for ``method="reference"``, matching the original behavior).
+    ``wd`` supplies precomputed :func:`wd_matrices` output (ignored by
+    ``method="reference"``) — long-lived callers such as the request
+    server keep the (W, D) matrices warm across calls this way.
     """
     if method not in ("incremental", "shared", "reference"):
         raise ValueError(f"unknown minimize_cycle_period method {method!r}")
@@ -121,7 +125,7 @@ def minimize_cycle_period(
                 return retime_for_period(g, c)
 
         else:
-            W, D = wd_matrices(g)
+            W, D = wd if wd is not None else wd_matrices(g)
             candidates = sorted(set(D.values()))
             if method == "incremental":
                 solver = IncrementalFeasibility(g, W, D)

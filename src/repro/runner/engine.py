@@ -65,14 +65,15 @@ from .cache import NullCache, ResultCache, cache_key
 from .jobs import Job, JobResult, execute_job
 from .resilience import FaultPlan, JobOutcome, RetryPolicy, run_attempts
 
-__all__ = ["EngineStats", "ExperimentEngine", "default_engine"]
+__all__ = ["EngineStats", "ExperimentEngine", "WorkUnit", "default_engine"]
 
 
 def _pool_worker(task: tuple) -> dict:
     """Process-pool entry point: cached execution of one unit of work.
 
-    ``task`` is ``(fn, params, key, cache_root, obs_on, label, policy,
-    plan)``.  The worker owns the cache lookup/store and the retry loop
+    ``task`` is ``(fn, params, key, cache_spec, obs_on, label, policy,
+    plan)`` where ``cache_spec`` is ``(root, shards)`` or ``None``.  The
+    worker owns the cache lookup/store and the retry loop
     for its unit and returns an envelope::
 
         {"payload", "cached", "wall", "cache_stats", "outcome"?, "obs"?}
@@ -83,7 +84,7 @@ def _pool_worker(task: tuple) -> dict:
     :class:`JobOutcome`; ``obs`` carries serialized spans and metric
     deltas when the parent had observability enabled.
     """
-    fn, params, key, cache_root, obs_on, label, policy_doc, plan_doc = task
+    fn, params, key, cache_spec, obs_on, label, policy_doc, plan_doc = task
     if obs_on:
         # A forked worker inherits the parent's collectors wholesale —
         # including the parent's still-open batch span and every metric
@@ -100,7 +101,11 @@ def _pool_worker(task: tuple) -> dict:
     else:
         resilience.deactivate()
     policy = RetryPolicy.from_dict(policy_doc) if policy_doc else None
-    cache = ResultCache(cache_root) if cache_root is not None else NullCache()
+    if cache_spec is not None:
+        cache_root, cache_shards = cache_spec
+        cache: ResultCache | NullCache = ResultCache(cache_root, shards=cache_shards)
+    else:
+        cache = NullCache()
     payload = cache.get(key)
     if payload is not None:
         envelope = {"payload": payload, "cached": True, "wall": 0.0}
@@ -156,6 +161,24 @@ class EngineStats:
 
     def failed_outcomes(self) -> list[JobOutcome]:
         return [o for o in self.outcomes if o.status != "ok"]
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One heterogeneous unit of work for :meth:`ExperimentEngine.run_units`.
+
+    ``fn`` must be an importable module-level function (the pickling
+    contract of the process pool), ``params`` a JSON dict fully
+    determining the result, ``kind`` the cache-key namespace.  Units with
+    the same ``(kind, fn)`` batch into one engine matrix dispatch; the
+    request server uses this to coalesce small mixed-kind requests into
+    few pool fan-outs.
+    """
+
+    kind: str
+    fn: object
+    params: dict
+    label: str
 
 
 class ExperimentEngine:
@@ -359,13 +382,17 @@ class ExperimentEngine:
     ) -> list[tuple[dict, bool, float, JobOutcome | None]]:
         """Pool execution: workers own cache I/O and ship deltas home."""
         root = getattr(self.cache, "root", None)
-        cache_root = str(root) if root is not None else None
+        cache_spec = (
+            (str(root), getattr(self.cache, "shards", 0))
+            if root is not None
+            else None
+        )
         obs_on = observability.OBS.enabled
         plan = resilience.active_plan()
         plan_doc = plan.as_dict() if plan is not None else None
         policy_doc = self.retry.as_dict()
         tasks = [
-            (fn, params, key, cache_root, obs_on, label, policy_doc, plan_doc)
+            (fn, params, key, cache_spec, obs_on, label, policy_doc, plan_doc)
             for params, key, label in zip(params_list, keys, labels)
         ]
         workers = max(1, min(self.jobs, len(tasks)))
@@ -429,6 +456,36 @@ class ExperimentEngine:
     def call_cached(self, kind: str, fn, params: dict, label: str | None = None) -> dict:
         """Single-call convenience wrapper around :meth:`map_cached`."""
         return self.map_cached(kind, fn, [params], [label or kind])[0]
+
+    # -- heterogeneous batching ----------------------------------------
+
+    def run_units(
+        self, units: list[WorkUnit]
+    ) -> list[tuple[dict, bool, float, JobOutcome | None]]:
+        """Execute a mixed batch of :class:`WorkUnit`\\ s, results in
+        input order.
+
+        The batching entry point for the request server: units are
+        grouped by ``(kind, fn)`` and each group goes through one
+        :meth:`map_cached` fan-out, so a drained queue of heterogeneous
+        small requests costs one engine dispatch per distinct kind
+        instead of one per request.  Caching, retries, journaling and
+        fault injection apply exactly as in :meth:`map_cached`.
+        """
+        groups: dict[tuple[str, object], list[int]] = {}
+        for i, unit in enumerate(units):
+            groups.setdefault((unit.kind, unit.fn), []).append(i)
+        results: list = [None] * len(units)
+        for (kind, fn), indices in groups.items():
+            detailed = self._map_detailed(
+                kind,
+                fn,
+                [units[i].params for i in indices],
+                [units[i].label for i in indices],
+            )
+            for i, d in zip(indices, detailed):
+                results[i] = d
+        return results
 
     # -- job matrix ----------------------------------------------------
 

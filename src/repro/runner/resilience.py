@@ -81,7 +81,13 @@ FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
 #:                     process dying inside a journal write;
 #: ``worker.kill``   — SIGKILLs the executing worker process itself at
 #:                     task start, exercising the supervisor's
-#:                     dead-worker detection/respawn/requeue path.
+#:                     dead-worker detection/respawn/requeue path;
+#: ``server.accept`` — raises while the request server is admitting a
+#:                     request (a poisoned read / parse crash), which
+#:                     must degrade to a structured error response;
+#: ``server.respond``— raises while the server is delivering a computed
+#:                     response, which must likewise produce a
+#:                     structured error — never a hung connection.
 FAULT_SITES: tuple[str, ...] = (
     "job.start",
     "job.timeout",
@@ -89,6 +95,8 @@ FAULT_SITES: tuple[str, ...] = (
     "cache.write",
     "journal.write",
     "worker.kill",
+    "server.accept",
+    "server.respond",
 )
 
 

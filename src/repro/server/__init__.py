@@ -1,0 +1,55 @@
+"""Retiming-as-a-service: the async request server.
+
+The analysis/transformation pipeline as a long-running service
+(``python -m repro serve``) — stdlib-only HTTP over TCP or a unix
+socket, requests keyed by the same content addresses the experiment
+engine caches under, single-flight deduplication of identical in-flight
+work, batched dispatch into the engine, bounded-queue load shedding, and
+warm pools for the hot per-graph state.  See ``docs/SERVER.md``.
+
+Layers:
+
+* :mod:`repro.server.protocol` — request validation/normalization,
+  content-address computation, response envelopes;
+* :mod:`repro.server.work` — the ``analyze`` engine unit and the warm
+  (W, D) pool;
+* :mod:`repro.server.service` — :class:`RetimingService`: single-flight,
+  batching, shedding, accounting, drain;
+* :mod:`repro.server.http` — the raw asyncio HTTP/1.1 transport;
+* :mod:`repro.server.app` — process lifecycle (config, signals, drain).
+"""
+
+from .app import ServerConfig, serve_main
+from .http import HttpFrontend
+from .protocol import (
+    ProtocolError,
+    REQUEST_KINDS,
+    Request,
+    canonical_bytes,
+    error_envelope,
+    parse_request,
+    response_envelope,
+)
+from .service import (
+    OverloadedError,
+    RetimingService,
+    ServerStats,
+    ServiceClosedError,
+)
+
+__all__ = [
+    "HttpFrontend",
+    "OverloadedError",
+    "ProtocolError",
+    "REQUEST_KINDS",
+    "Request",
+    "RetimingService",
+    "ServerConfig",
+    "ServerStats",
+    "ServiceClosedError",
+    "canonical_bytes",
+    "error_envelope",
+    "parse_request",
+    "response_envelope",
+    "serve_main",
+]

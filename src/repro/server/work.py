@@ -1,0 +1,97 @@
+"""Module-level work functions and warm state for the request server.
+
+:func:`analyze_graph` is an engine unit of work (importable, JSON in /
+JSON out — the process-pool pickling contract, same as
+:func:`repro.runner.jobs.execute_job`).  Two warm pools make the
+server's repeat-heavy traffic cheap even on cache misses:
+
+* :data:`WD_POOL` keeps the shared (W, D) matrices of recently analyzed
+  graphs, fed into :func:`~repro.retiming.optimal.minimize_cycle_period`
+  via its ``wd=`` parameter;
+* the compiled-program pool of :mod:`repro.machine.dispatch`
+  (:func:`~repro.machine.dispatch.warm_program`) keeps built CSR
+  programs alive so the id-keyed dispatch compilation cache hits across
+  requests.
+
+Both pools are bounded LRUs and pure content caches — evicting or
+clearing them can change only speed, never payload bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+
+from ..core.codesize import size_csr_pipelined, size_pipelined
+from ..core.csr import csr_pipelined_loop
+from ..core.verify import assert_equivalent
+from ..graph.dfg import DFGError
+from ..graph.iteration_bound import iteration_bound
+from ..graph.period import cycle_period
+from ..graph.serialize import from_json
+from ..graph.wd import wd_matrices
+from ..machine.dispatch import WarmPool, warm_program
+from ..machine.vm import run_program
+from ..observability import span
+from ..retiming.optimal import minimize_cycle_period
+
+__all__ = ["WD_POOL", "analyze_graph", "graph_digest"]
+
+#: Warm shared-(W, D) matrices, keyed by graph digest.
+WD_POOL = WarmPool(capacity=256)
+
+
+def graph_digest(graph_json: str) -> str:
+    """Short content digest of a serialized graph (warm-pool key)."""
+    return hashlib.sha256(graph_json.encode()).hexdigest()[:16]
+
+
+def analyze_graph(params: dict) -> dict:
+    """Engine unit: full analysis payload for one serialized graph.
+
+    ``params``: ``{"graph": <DFG JSON>, "trip_count": n, "verify": bool}``.
+    Failures are in-band (``{"ok": False, ...}``), like every engine
+    unit, so one malformed graph cannot take down a batch.
+    """
+    start = time.perf_counter()
+    n = params["trip_count"]
+    with span("server.analyze", n=n):
+        try:
+            graph_json = params["graph"]
+            g = from_json(graph_json)
+            digest = graph_digest(graph_json)
+            wd = WD_POOL.get_or_build(digest, lambda: wd_matrices(g))
+            period, r = minimize_cycle_period(g, method="shared", wd=wd)
+            program = warm_program(
+                ("csr-pipelined", digest), lambda: csr_pipelined_loop(g, r)
+            )
+            payload = {
+                "graph": g.name,
+                "nodes": g.num_nodes,
+                "edges": g.num_edges,
+                "period_original": cycle_period(g),
+                "period": period,
+                "iteration_bound": str(iteration_bound(g)),
+                "registers": r.registers_needed(),
+                "max_retiming": r.max_value,
+                "code_size_original": g.num_nodes,
+                "code_size_pipelined": size_pipelined(g, r),
+                "code_size_csr": size_csr_pipelined(g, r),
+            }
+            if params["verify"]:
+                result = assert_equivalent(g, program, n)
+                payload["equivalent"] = True
+            else:
+                result = run_program(program, n)
+            payload["executed"] = result.executed
+            payload["disabled"] = result.disabled
+            payload["ok"] = True
+            payload["error"] = None
+        except DFGError as exc:
+            payload = {
+                "ok": False,
+                "error": str(exc),
+                "error_type": type(exc).__name__,
+            }
+    payload["compute_time"] = time.perf_counter() - start
+    return payload

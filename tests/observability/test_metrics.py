@@ -125,3 +125,43 @@ class TestMerge:
         m.counter("c").inc()
         m.reset()
         assert len(m) == 0
+
+
+class TestPercentile:
+    """The bucket-resolution percentile estimator the request server's
+    soak tests use as a deterministic latency budget."""
+
+    def test_empty_histogram_has_no_percentile(self):
+        h = MetricsRegistry().histogram("h", bounds=(1, 10))
+        assert h.percentile(50) is None
+
+    def test_percentile_is_the_covering_bucket_bound(self):
+        h = MetricsRegistry().histogram("h", bounds=(1, 10, 100))
+        for v in (0, 0, 0, 5, 50):  # 3 in <=1, 1 in <=10, 1 in <=100
+            h.observe(v)
+        assert h.percentile(0) == 1.0
+        assert h.percentile(50) == 1.0  # rank 2.5 covered by bucket <=1
+        assert h.percentile(60) == 1.0  # rank 3.0 still covered
+        assert h.percentile(80) == 10.0  # rank 4.0 needs bucket <=10
+        assert h.percentile(100) == 100.0
+
+    def test_overflow_bucket_reports_the_exact_max(self):
+        h = MetricsRegistry().histogram("h", bounds=(1, 10))
+        h.observe(5000)
+        assert h.percentile(100) == 5000.0
+
+    def test_out_of_range_quantile_rejected(self):
+        h = MetricsRegistry().histogram("h")
+        h.observe(1)
+        with pytest.raises(ValueError, match="percentile"):
+            h.percentile(101)
+        with pytest.raises(ValueError, match="percentile"):
+            h.percentile(-1)
+
+    def test_percentile_is_monotone_in_q(self):
+        h = MetricsRegistry().histogram("h", bounds=(1, 5, 25, 125))
+        for v in range(0, 130, 7):
+            h.observe(v)
+        qs = [0, 10, 25, 50, 75, 90, 99, 100]
+        values = [h.percentile(q) for q in qs]
+        assert values == sorted(values)

@@ -1,0 +1,173 @@
+"""Single-flight deduplication, proven by counters — never by timing.
+
+The dispatcher gate (:meth:`RetimingService.hold` / ``release``) freezes
+dispatch while requests arrive, so "N identical concurrent requests"
+is a deterministic scenario: everything submitted while held is in
+flight together, and the counters must show exactly one engine job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.server import canonical_bytes, parse_request
+
+from .conftest import analyze_doc, make_service, transform_doc
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestSingleFlight:
+    def test_n_identical_requests_run_one_engine_job(self):
+        async def scenario():
+            svc = make_service()
+            await svc.start()
+            svc.hold()
+            doc = analyze_doc("iir", n=4)
+            tasks = [
+                asyncio.create_task(svc.submit(parse_request(doc)))
+                for _ in range(8)
+            ]
+            # Let every submit reach its await before dispatch resumes.
+            while svc.stats.submitted < 8:
+                await asyncio.sleep(0)
+            assert svc.inflight == 1  # one key in flight, 7 joiners
+            svc.release()
+            envs = await asyncio.gather(*tasks)
+            await svc.aclose()
+            return svc, envs
+
+        svc, envs = run(scenario())
+        assert svc.stats.jobs_submitted == 1
+        assert svc.stats.deduped == 7
+        assert svc.stats.completed == 8
+        assert svc.engine.stats.calls == 1  # the engine saw ONE unit
+        assert svc.engine.stats.computed == 1
+        # Every requester got the identical response, byte for byte.
+        blobs = {canonical_bytes(env) for env in envs}
+        assert len(blobs) == 1
+        assert envs[0]["ok"]
+
+    def test_distinct_requests_are_not_coalesced(self):
+        async def scenario():
+            svc = make_service()
+            await svc.start()
+            svc.hold()
+            docs = [analyze_doc("iir", n=n) for n in (1, 2, 3)]
+            results = asyncio.gather(
+                *(svc.submit(parse_request(d)) for d in docs)
+            )
+            while svc.stats.submitted < 3:
+                await asyncio.sleep(0)
+            svc.release()
+            envs = await results
+            await svc.aclose()
+            return svc, envs
+
+        svc, envs = run(scenario())
+        assert svc.stats.jobs_submitted == 3
+        assert svc.stats.deduped == 0
+        assert len({env["key"] for env in envs}) == 3
+
+    def test_join_after_completion_is_a_cache_hit_not_a_join(self):
+        async def scenario(tmpdir):
+            svc = make_service(cache_dir=tmpdir)
+            await svc.start()
+            doc = transform_doc("iir")
+            first = await svc.submit(parse_request(doc))
+            # The key has left the in-flight table; a repeat is a fresh
+            # job served from the result cache, not a dedup join.
+            second = await svc.submit(parse_request(doc))
+            await svc.aclose()
+            return svc, first, second
+
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as tmpdir:
+            svc, first, second = run(scenario(tmpdir))
+        assert svc.stats.deduped == 0
+        assert svc.stats.jobs_submitted == 2
+        assert not first["cached"] and second["cached"]
+        assert first["payload"] == second["payload"]
+
+    def test_mixed_duplicates_count_exactly(self):
+        async def scenario():
+            svc = make_service()
+            await svc.start()
+            svc.hold()
+            docs = (
+                [analyze_doc("iir", n=1)] * 3
+                + [analyze_doc("iir", n=2)] * 2
+                + [analyze_doc("diffeq", n=1)]
+            )
+            results = asyncio.gather(
+                *(svc.submit(parse_request(d)) for d in docs)
+            )
+            while svc.stats.submitted < len(docs):
+                await asyncio.sleep(0)
+            svc.release()
+            envs = await results
+            await svc.aclose()
+            return svc, envs
+
+        svc, envs = run(scenario())
+        assert svc.stats.jobs_submitted == 3  # three distinct keys
+        assert svc.stats.deduped == 3  # 2 + 1 + 0 joiners
+        assert svc.stats.completed == 6
+        assert svc.engine.stats.calls == 3
+
+
+class TestDedupProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        ids=st.lists(st.integers(min_value=0, max_value=2), min_size=1, max_size=10),
+        order=st.randoms(use_true_random=False),
+    )
+    def test_random_interleavings_preserve_the_dedup_invariants(self, ids, order):
+        """Property: for ANY arrival order and interleaving of duplicate
+        requests submitted while dispatch is held,
+
+        * ``jobs_submitted`` equals the number of distinct keys,
+        * every requester is answered, identically per key,
+        * the accounting identity holds.
+        """
+        docs = {i: analyze_doc("iir", n=i, verify=False) for i in set(ids)}
+        arrival = list(ids)
+        order.shuffle(arrival)
+
+        async def scenario():
+            svc = make_service()
+            await svc.start()
+            svc.hold()
+            tasks = []
+            for i in arrival:
+                tasks.append(
+                    asyncio.create_task(svc.submit(parse_request(docs[i])))
+                )
+                # A random number of scheduler ticks between arrivals —
+                # the "interleaving" under test.
+                for _ in range(order.randrange(3)):
+                    await asyncio.sleep(0)
+            while svc.stats.submitted < len(arrival):
+                await asyncio.sleep(0)
+            svc.release()
+            envs = await asyncio.gather(*tasks)
+            await svc.aclose()
+            return svc, envs
+
+        svc, envs = run(scenario())
+        s = svc.stats
+        assert s.jobs_submitted == len(set(arrival))
+        assert s.deduped == len(arrival) - len(set(arrival))
+        assert s.completed + s.failed + s.shed == s.submitted == len(arrival)
+        by_key: dict[str, set[bytes]] = {}
+        for env in envs:
+            by_key.setdefault(env["key"], set()).add(canonical_bytes(env))
+        # Identical requests -> identical responses, byte for byte.
+        assert all(len(blobs) == 1 for blobs in by_key.values())
+        assert len(by_key) == len(set(arrival))

@@ -1,0 +1,177 @@
+"""Fault injection at the server's own sites: ``server.accept`` and
+``server.respond``.
+
+The degradation contract (mirroring ``tests/runner/test_resilience.py``):
+an injected fault at either site degrades into a *structured error
+response* — correct status code, JSON body with ``error_type`` — never a
+hung connection or an unanswered request, and the accounting identity
+survives.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.runner import resilience
+from repro.runner.resilience import FaultPlan, FaultSpec
+
+from .conftest import (
+    analyze_doc,
+    http_json,
+    make_service,
+    serve_frontend,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestRespondFaults:
+    def test_respond_fault_degrades_to_error_envelope(self):
+        from repro.server import parse_request
+
+        resilience.activate(
+            FaultPlan(
+                [FaultSpec(site="server.respond", match="iir/analyze/n=1", times=1)]
+            )
+        )
+
+        async def scenario():
+            svc = make_service()
+            await svc.start()
+            first = await svc.submit(parse_request(analyze_doc(n=1)))
+            second = await svc.submit(parse_request(analyze_doc(n=2)))
+            await svc.aclose()
+            return svc, first, second
+
+        svc, first, second = run(scenario())
+        assert first["ok"] is False
+        assert first["error_type"] == "FaultInjected"
+        assert second["ok"] is True  # a different label, outside the match
+        s = svc.stats
+        assert s.failed == 1 and s.completed == 1
+        assert s.completed + s.failed + s.shed == s.submitted
+
+    def test_respond_fault_hits_one_requester_not_the_flight(self):
+        """Per-(site, label) occurrence budgets mean ONE delivery is
+        faulted; the other joiners of the same single-flight computation
+        still receive the computed answer."""
+        from repro.server import parse_request
+
+        resilience.activate(
+            FaultPlan([FaultSpec(site="server.respond", match="*", times=1)])
+        )
+
+        async def scenario():
+            svc = make_service()
+            await svc.start()
+            svc.hold()
+            doc = analyze_doc(n=3)
+            tasks = [
+                asyncio.create_task(svc.submit(parse_request(doc)))
+                for _ in range(5)
+            ]
+            while svc.stats.submitted < 5:
+                await asyncio.sleep(0)
+            svc.release()
+            envs = await asyncio.gather(*tasks)
+            await svc.aclose()
+            return svc, envs
+
+        svc, envs = run(scenario())
+        faulted = [e for e in envs if e.get("error_type") == "FaultInjected"]
+        served = [e for e in envs if e["ok"]]
+        assert len(faulted) == 1 and len(served) == 4
+        assert svc.stats.jobs_submitted == 1  # the computation still ran once
+        assert svc.stats.failed == 1 and svc.stats.completed == 4
+
+    def test_respond_fault_label_matching_scopes_the_blast_radius(self):
+        from repro.server import parse_request
+
+        resilience.activate(
+            FaultPlan(
+                [FaultSpec(site="server.respond", match="iir/*", times=0)]
+            )
+        )
+
+        async def scenario():
+            svc = make_service()
+            await svc.start()
+            iir = await svc.submit(parse_request(analyze_doc("iir", n=1)))
+            other = await svc.submit(parse_request(analyze_doc("diffeq", n=1)))
+            await svc.aclose()
+            return iir, other
+
+        iir, other = run(scenario())
+        assert iir["error_type"] == "FaultInjected"
+        assert other["ok"]
+
+
+class TestAcceptFaults:
+    def test_accept_fault_returns_structured_500_over_http(self):
+        resilience.activate(
+            FaultPlan([FaultSpec(site="server.accept", match="*", times=1)])
+        )
+
+        async def scenario():
+            svc = make_service()
+            frontend, host, port = await serve_frontend(svc)
+            first = await http_json(host, port, analyze_doc(n=1))
+            second = await http_json(host, port, analyze_doc(n=1))
+            await frontend.aclose()
+            await svc.drain()
+            return first, second
+
+        (s1, _, b1), (s2, _, b2) = run(scenario())
+        assert s1 == 500
+        assert b1["error_type"] == "FaultInjected"
+        assert b1["kind"] == "analyze" and "key" in b1
+        assert s2 == 200 and b2["ok"]  # budget exhausted, service healthy
+
+    def test_accept_fault_never_hangs_the_connection(self):
+        """Even with the site firing on EVERY request, each connection
+        gets a complete, well-formed HTTP response."""
+        resilience.activate(
+            FaultPlan([FaultSpec(site="server.accept", match="*", times=0)])
+        )
+
+        async def scenario():
+            svc = make_service()
+            frontend, host, port = await serve_frontend(svc)
+            responses = [
+                await asyncio.wait_for(
+                    http_json(host, port, analyze_doc(n=n)), timeout=10.0
+                )
+                for n in range(4)
+            ]
+            await frontend.aclose()
+            await svc.drain()
+            return svc, responses
+
+        svc, responses = run(scenario())
+        assert [status for status, _, _ in responses] == [500] * 4
+        assert all(
+            body["error_type"] == "FaultInjected" for _, _, body in responses
+        )
+        # Faulted at admission: the service never saw the requests.
+        assert svc.stats.submitted == 0
+
+    def test_accept_fault_leaves_health_and_metrics_reachable(self):
+        from .conftest import http_request
+
+        resilience.activate(
+            FaultPlan([FaultSpec(site="server.accept", match="*", times=0)])
+        )
+
+        async def scenario():
+            svc = make_service()
+            frontend, host, port = await serve_frontend(svc)
+            health = await http_request(host, port, "GET", "/healthz")
+            metrics = await http_request(host, port, "GET", "/metrics")
+            await frontend.aclose()
+            await svc.drain()
+            return health, metrics
+
+        (hs, _, _), (ms, _, _) = run(scenario())
+        assert hs == 200 and ms == 200  # only /v1/request is in blast radius

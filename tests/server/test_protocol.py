@@ -1,0 +1,242 @@
+"""Request validation, normalization and content-address stability.
+
+The single-flight and caching layers are only as good as the key
+function: structurally identical requests MUST collide (that is the
+dedup) and any semantic difference MUST separate (that is correctness).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.graph.serialize import to_json
+from repro.runner.cache import cache_key
+from repro.runner.jobs import TRANSFORMS
+from repro.server import (
+    ProtocolError,
+    canonical_bytes,
+    error_envelope,
+    parse_request,
+    response_envelope,
+)
+from repro.workloads import get_workload
+
+
+class TestValidation:
+    def test_rejects_non_object(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            parse_request([1, 2])
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ProtocolError, match="unknown request kind"):
+            parse_request({"kind": "frobnicate"})
+
+    def test_rejects_missing_kind(self):
+        with pytest.raises(ProtocolError, match="unknown request kind"):
+            parse_request({"params": {}})
+
+    def test_rejects_non_dict_params(self):
+        with pytest.raises(ProtocolError, match="params"):
+            parse_request({"kind": "analyze", "params": 7})
+
+    def test_requires_exactly_one_graph_source(self):
+        with pytest.raises(ProtocolError, match="exactly one"):
+            parse_request({"kind": "analyze", "params": {}})
+        with pytest.raises(ProtocolError, match="exactly one"):
+            parse_request(
+                {
+                    "kind": "analyze",
+                    "params": {"workload": "iir", "graph": "{}"},
+                }
+            )
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(ProtocolError, match="unknown workload"):
+            parse_request({"kind": "analyze", "params": {"workload": "nope"}})
+
+    def test_rejects_invalid_graph_document(self):
+        with pytest.raises(ProtocolError, match="invalid graph"):
+            parse_request(
+                {"kind": "analyze", "params": {"graph": '{"nodes": "what"}'}}
+            )
+
+    def test_rejects_bool_masquerading_as_int(self):
+        with pytest.raises(ProtocolError, match="trip_count"):
+            parse_request(
+                {
+                    "kind": "analyze",
+                    "params": {"workload": "iir", "trip_count": True},
+                }
+            )
+
+    def test_rejects_negative_trip_count(self):
+        with pytest.raises(ProtocolError, match="trip_count"):
+            parse_request(
+                {
+                    "kind": "analyze",
+                    "params": {"workload": "iir", "trip_count": -1},
+                }
+            )
+
+    def test_rejects_unknown_transform(self):
+        with pytest.raises(ProtocolError, match="unknown transform"):
+            parse_request(
+                {
+                    "kind": "transform",
+                    "params": {"workload": "iir", "transform": "nope"},
+                }
+            )
+
+    def test_transform_kind_rejects_oracle(self):
+        with pytest.raises(ProtocolError, match='use kind "oracle"'):
+            parse_request(
+                {
+                    "kind": "transform",
+                    "params": {"workload": "iir", "transform": "oracle"},
+                }
+            )
+
+    def test_rejects_bad_factor_through_job_validation(self):
+        with pytest.raises(ProtocolError):
+            parse_request(
+                {
+                    "kind": "transform",
+                    "params": {
+                        "workload": "iir",
+                        "transform": "unfolded",
+                        "factor": 0,
+                    },
+                }
+            )
+
+    def test_sweep_rejects_bad_factors(self):
+        for bad in ([], [2, True], "2,3"):
+            with pytest.raises(ProtocolError, match="factors"):
+                parse_request({"kind": "sweep", "params": {"factors": bad}})
+
+    def test_sweep_rejects_nonpositive_graphs(self):
+        with pytest.raises(ProtocolError, match="graphs"):
+            parse_request({"kind": "sweep", "params": {"graphs": 0}})
+
+
+class TestNormalization:
+    def test_workload_and_explicit_graph_share_a_key(self):
+        """The dedup-critical property: naming a workload and sending its
+        serialized graph are the *same request*."""
+        g = get_workload("iir")
+        by_name = parse_request({"kind": "analyze", "params": {"workload": "iir"}})
+        by_graph = parse_request(
+            {"kind": "analyze", "params": {"graph": to_json(g, indent=None)}}
+        )
+        assert by_name.key == by_graph.key
+
+    def test_graph_object_and_string_share_a_key(self):
+        g = get_workload("diffeq")
+        doc = to_json(g, indent=None)
+        as_string = parse_request({"kind": "analyze", "params": {"graph": doc}})
+        as_object = parse_request(
+            {"kind": "analyze", "params": {"graph": json.loads(doc)}}
+        )
+        assert as_string.key == as_object.key
+
+    def test_whitespace_variant_graph_shares_a_key(self):
+        g = get_workload("iir")
+        pretty = to_json(g, indent=2)
+        compact = to_json(g, indent=None)
+        a = parse_request({"kind": "analyze", "params": {"graph": pretty}})
+        b = parse_request({"kind": "analyze", "params": {"graph": compact}})
+        assert a.key == b.key
+
+    def test_different_params_separate_keys(self):
+        base = {"kind": "analyze", "params": {"workload": "iir"}}
+        other = {
+            "kind": "analyze",
+            "params": {"workload": "iir", "trip_count": 21},
+        }
+        assert parse_request(base).key != parse_request(other).key
+
+    def test_sweep_defaults_match_explicit_defaults(self):
+        implicit = parse_request({"kind": "sweep"})
+        explicit = parse_request(
+            {
+                "kind": "sweep",
+                "params": {
+                    "graphs": 200,
+                    "seed": 0,
+                    "factors": [2, 3],
+                    "max_nodes": 6,
+                    "oracle": False,
+                },
+            }
+        )
+        assert implicit.key == explicit.key
+
+    def test_transform_request_uses_the_job_namespace(self):
+        """Server transform keys ARE engine sweep-cell keys — the basis of
+        the byte-identical differential guarantee."""
+        req = parse_request(
+            {
+                "kind": "transform",
+                "params": {
+                    "workload": "iir",
+                    "transform": "csr-pipelined",
+                    "trip_count": 7,
+                },
+            }
+        )
+        assert req.engine_kind == "job"
+        assert req.key == cache_key("job", req.params)
+
+    def test_all_non_oracle_transforms_parse(self):
+        for t in TRANSFORMS:
+            if t == "oracle":
+                continue
+            req = parse_request(
+                {
+                    "kind": "transform",
+                    "params": {
+                        "workload": "iir",
+                        "transform": t,
+                        "factor": 2,
+                        "trip_count": 3,
+                    },
+                }
+            )
+            assert req.kind == "transform" and req.engine_kind == "job"
+
+    def test_oracle_kind_builds_an_oracle_job(self):
+        req = parse_request(
+            {
+                "kind": "oracle",
+                "params": {"workload": "iir", "oracle_timeout": 1.5},
+            }
+        )
+        assert req.engine_kind == "job"
+        assert req.params["transform"] == "oracle"
+        assert req.params["oracle_timeout"] == 1.5
+
+
+class TestEnvelopes:
+    def test_response_envelope_mirrors_payload_ok(self):
+        req = parse_request({"kind": "analyze", "params": {"workload": "iir"}})
+        good = response_envelope(req, {"ok": True, "x": 1}, cached=True)
+        assert good["ok"] and good["cached"] and good["key"] == req.key
+        bad = response_envelope(req, {"ok": False, "error": "e"}, cached=False)
+        assert not bad["ok"] and not bad["cached"]
+
+    def test_error_envelope_fields(self):
+        env = error_envelope("busy", "OverloadedError", retry_after=2.0)
+        assert env == {
+            "ok": False,
+            "error": "busy",
+            "error_type": "OverloadedError",
+            "retry_after": 2.0,
+        }
+
+    def test_canonical_bytes_are_order_insensitive(self):
+        assert canonical_bytes({"b": 1, "a": [2]}) == canonical_bytes(
+            {"a": [2], "b": 1}
+        )
+        assert canonical_bytes({"a": 1}) == b'{"a":1}'

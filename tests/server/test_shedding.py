@@ -1,0 +1,163 @@
+"""Bounded-queue load shedding and graceful drain — counter-based.
+
+The invariant every scenario re-asserts at the end::
+
+    completed + failed + shed == submitted
+
+No request is ever lost (unanswered) or double-counted, whatever mix of
+admission, dedup joins, refusals and drain the scenario produced.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.server import (
+    OverloadedError,
+    RetimingService,
+    ServiceClosedError,
+    parse_request,
+)
+
+from .conftest import analyze_doc, make_service
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def assert_accounting(svc) -> None:
+    s = svc.stats
+    assert s.completed + s.failed + s.shed == s.submitted
+
+
+class TestShedding:
+    def test_queue_overflow_sheds_with_retry_after(self):
+        async def scenario():
+            svc = make_service(max_inflight=2, retry_after=3.0)
+            await svc.start()
+            svc.hold()
+            t1 = asyncio.create_task(svc.submit(parse_request(analyze_doc(n=1))))
+            t2 = asyncio.create_task(svc.submit(parse_request(analyze_doc(n=2))))
+            while svc.stats.submitted < 2:
+                await asyncio.sleep(0)
+            # Queue is at capacity: a third DISTINCT request is refused.
+            with pytest.raises(OverloadedError) as exc_info:
+                await svc.submit(parse_request(analyze_doc(n=3)))
+            shed_exc = exc_info.value
+            svc.release()
+            envs = await asyncio.gather(t1, t2)
+            await svc.aclose()
+            return svc, envs, shed_exc
+
+        svc, envs, shed_exc = run(scenario())
+        assert shed_exc.retry_after == 3.0
+        assert svc.stats.shed == 1
+        assert svc.stats.completed == 2
+        assert all(env["ok"] for env in envs)
+        assert_accounting(svc)
+
+    def test_joining_a_full_queue_is_still_admitted(self):
+        """A dedup join costs no queue slot and no engine work — shedding
+        it would only waste the answer we are already computing."""
+
+        async def scenario():
+            svc = make_service(max_inflight=1)
+            await svc.start()
+            svc.hold()
+            owner = asyncio.create_task(
+                svc.submit(parse_request(analyze_doc(n=1)))
+            )
+            while svc.stats.submitted < 1:
+                await asyncio.sleep(0)
+            # Queue full; an identical request joins anyway...
+            joiner = asyncio.create_task(
+                svc.submit(parse_request(analyze_doc(n=1)))
+            )
+            while svc.stats.submitted < 2:
+                await asyncio.sleep(0)
+            # ...while a distinct one is refused.
+            with pytest.raises(OverloadedError):
+                await svc.submit(parse_request(analyze_doc(n=2)))
+            svc.release()
+            envs = await asyncio.gather(owner, joiner)
+            await svc.aclose()
+            return svc, envs
+
+        svc, envs = run(scenario())
+        assert svc.stats.deduped == 1
+        assert svc.stats.shed == 1
+        assert svc.stats.completed == 2
+        assert envs[0] == envs[1]
+        assert_accounting(svc)
+
+    def test_draining_service_refuses_new_work(self):
+        async def scenario():
+            svc = make_service()
+            await svc.start()
+            env = await svc.submit(parse_request(analyze_doc(n=1)))
+            await svc.drain()
+            with pytest.raises(ServiceClosedError):
+                await svc.submit(parse_request(analyze_doc(n=2)))
+            return svc, env
+
+        svc, env = run(scenario())
+        assert env["ok"]
+        assert svc.stats.shed == 1
+        assert_accounting(svc)
+
+    def test_drain_completes_queued_work_first(self):
+        """Drain is graceful: everything admitted before the drain is
+        answered, nothing is abandoned."""
+
+        async def scenario():
+            svc = make_service()
+            await svc.start()
+            svc.hold()
+            tasks = [
+                asyncio.create_task(svc.submit(parse_request(analyze_doc(n=n))))
+                for n in range(4)
+            ]
+            while svc.stats.submitted < 4:
+                await asyncio.sleep(0)
+            # drain() re-opens the gate itself — a held gate must not
+            # wedge shutdown.
+            await svc.drain()
+            return svc, await asyncio.gather(*tasks)
+
+        svc, envs = run(scenario())
+        assert svc.stats.completed == 4
+        assert all(env["ok"] for env in envs)
+        assert_accounting(svc)
+
+    def test_aclose_resolves_pending_waiters_structurally(self):
+        """A hard close never leaves a waiter hanging: pending requests
+        resolve to a structured shutdown error."""
+
+        async def scenario():
+            svc = make_service()
+            await svc.start()
+            svc.hold()
+            task = asyncio.create_task(
+                svc.submit(parse_request(analyze_doc(n=1)))
+            )
+            while svc.stats.submitted < 1:
+                await asyncio.sleep(0)
+            await svc.aclose()
+            return svc, await asyncio.wait_for(task, timeout=5.0)
+
+        svc, env = run(scenario())
+        assert env["ok"] is False
+        assert env["error_type"] == "ServiceClosedError"
+        assert svc.stats.failed == 1
+        assert_accounting(svc)
+
+
+class TestConfigValidation:
+    def test_rejects_nonpositive_limits(self):
+        with pytest.raises(ValueError, match="max_inflight"):
+            RetimingService(max_inflight=0)
+        with pytest.raises(ValueError, match="batch_max"):
+            RetimingService(batch_max=0)

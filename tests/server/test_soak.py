@@ -1,0 +1,129 @@
+"""Deterministic 500-request soak: conservation, dedup, cached-path cost.
+
+A seeded request mix (duplicates, several workloads, two request kinds)
+is pushed through one service.  Every assertion is exact:
+
+* **conservation** — 500 in, 500 answered, the accounting identity holds,
+  and no response is lost or duplicated;
+* **consistency** — all responses for one key carry the identical payload;
+* **latency budget** — op-counter style: the p50 of engine units computed
+  per request must be 0 (the cached/deduped path does no engine work),
+  bounded via :meth:`Histogram.percentile`, never a wall clock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+from repro.server import canonical_bytes, parse_request
+
+from .conftest import analyze_doc, make_service, transform_doc
+
+SOAK_REQUESTS = 500
+SOAK_SEED = 20020809
+
+#: The distinct request pool the soak draws from (workload x kind x n).
+_WORKLOADS = ("iir", "diffeq", "allpole", "lattice")
+
+
+def _request_pool() -> list[dict]:
+    docs: list[dict] = []
+    for w in _WORKLOADS:
+        for n in (2, 5):
+            docs.append(analyze_doc(w, n=n, verify=False))
+        docs.append(transform_doc(w, "csr-pipelined", n=4))
+        docs.append(transform_doc(w, "pipelined", n=4))
+    return docs
+
+
+def test_soak_500_requests_no_losses_no_duplicates(tmp_path):
+    pool = _request_pool()
+    rng = random.Random(SOAK_SEED)
+    sequence = [rng.randrange(len(pool)) for _ in range(SOAK_REQUESTS)]
+
+    async def scenario():
+        svc = make_service(cache_dir=tmp_path / "cache", batch_max=8)
+        await svc.start()
+        envs: list[dict] = []
+        # Waves of concurrent submissions: each wave overlaps in flight
+        # (exercising dedup), waves run back-to-back (exercising the
+        # cache path for repeats of earlier waves).
+        i = 0
+        while i < len(sequence):
+            wave = sequence[i : i + 25]
+            i += 25
+            envs.extend(
+                await asyncio.gather(
+                    *(
+                        svc.submit(parse_request(pool[j]))
+                        for j in wave
+                    )
+                )
+            )
+        await svc.drain()
+        return svc, envs
+
+    svc, envs = asyncio.run(scenario())
+    s = svc.stats
+
+    # -- conservation: nothing lost, nothing double-counted ------------
+    assert s.submitted == SOAK_REQUESTS
+    assert len(envs) == SOAK_REQUESTS
+    assert s.completed + s.failed + s.shed == s.submitted
+    assert s.shed == 0 and s.failed == 0
+    assert s.completed == SOAK_REQUESTS
+
+    # -- dedup + cache actually bounded the work -----------------------
+    distinct = len({parse_request(d).key for d in pool})
+    assert svc.engine.stats.computed == distinct  # each key computed ONCE
+    assert s.jobs_submitted + s.deduped == SOAK_REQUESTS
+
+    # -- per-key consistency: identical responses modulo the cached flag
+    by_key: dict[str, set[bytes]] = {}
+    for env in envs:
+        assert env["ok"], env
+        body = dict(env)
+        body.pop("cached")  # first computation vs later cache hits
+        by_key.setdefault(env["key"], set()).add(canonical_bytes(body))
+    assert len(by_key) == distinct
+    assert all(len(blobs) == 1 for blobs in by_key.values())
+
+    # -- deterministic latency budget (op-counter, not wall-clock) -----
+    h = svc.request_cost
+    assert h.count == SOAK_REQUESTS
+    # Exactly `distinct` requests paid an engine unit; every other
+    # request rode the single-flight join or the result cache for free.
+    assert h.sum == distinct
+    # p50 resolves to the first bucket: at least half the requests did
+    # zero engine work.  (A generous budget by design — the mix has ~20x
+    # more requests than keys.)
+    assert h.percentile(50) <= 1.0
+    assert h.percentile(100) <= 1.0  # no request ever cost more than 1 unit
+
+    # -- batching actually coalesced ----------------------------------
+    assert s.batches <= s.jobs_submitted
+    assert s.batched_units == s.jobs_submitted
+
+
+def test_soak_second_run_is_fully_cached(tmp_path):
+    """Re-running a soak against the same cache computes nothing."""
+    pool = _request_pool()[:6]
+
+    async def one_run():
+        svc = make_service(cache_dir=tmp_path / "cache")
+        await svc.start()
+        envs = await asyncio.gather(
+            *(svc.submit(parse_request(d)) for d in pool)
+        )
+        await svc.drain()
+        return svc, envs
+
+    svc1, envs1 = asyncio.run(one_run())
+    svc2, envs2 = asyncio.run(one_run())
+    assert svc1.engine.stats.computed == len(pool)
+    assert svc2.engine.stats.computed == 0  # pure replay
+    assert all(env["cached"] for env in envs2)
+    assert svc2.request_cost.sum == 0.0
+    for a, b in zip(envs1, envs2):
+        assert a["payload"] == b["payload"]
