@@ -62,7 +62,9 @@ GATED_COUNTERS = (
     "retiming.incremental.constraints_added",
     "iteration_bound.probes",
     "kernel.relax_edges",
+    "kernel.relax_sweeps",
     "vm.instructions.executed",
+    "vm.trace.steps",
     "vliw.cycles",
 )
 
@@ -110,7 +112,7 @@ def bench_minimize(sizes) -> list[dict]:
                 "speedup": round(ref_s / new_s, 2) if new_s else None,
                 "counters": {
                     k: v for k, v in counters.items()
-                    if k.startswith("retiming.")
+                    if k.startswith(("retiming.", "kernel."))
                 },
             }
         )

@@ -30,7 +30,7 @@ from fractions import Fraction
 
 from ..observability import count
 from .dfg import DFG, DFGError
-from .kernel import EdgeKernel
+from .kernel import EdgeKernel, shared_kernel
 
 __all__ = [
     "iteration_bound",
@@ -167,7 +167,7 @@ def has_cycle_with_nonneg_weight(g: DFG, lam: Fraction) -> bool:
     integer oracle (no epsilon perturbation).
     """
     lam = Fraction(lam)
-    return EdgeKernel(g).has_positive_cycle(
+    return shared_kernel(g).has_positive_cycle(
         lam.numerator, lam.denominator, strict=False
     )
 
@@ -196,7 +196,7 @@ def iteration_bound(g: DFG) -> Fraction:
         # all the graph is acyclic.
         return Fraction(0)
 
-    kernel = EdgeKernel(g)
+    kernel = shared_kernel(g)
 
     # Quick acyclicity check: if no cycle at lam=0 exists (i.e. no cycle at
     # all, since weights are then all positive node times), bound is 0.
@@ -240,7 +240,7 @@ def _verify_bound_kernel(kernel: EdgeKernel, lam: Fraction) -> bool:
 def _verify_bound(g: DFG, lam: Fraction) -> bool:
     """``lam`` is the iteration bound iff a zero-weight cycle exists and no
     positive-weight cycle exists at ``lam``."""
-    return _verify_bound_kernel(EdgeKernel(g), lam)
+    return _verify_bound_kernel(shared_kernel(g), lam)
 
 
 def iteration_bound_exhaustive(g: DFG) -> Fraction:

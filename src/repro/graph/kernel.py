@@ -7,7 +7,14 @@ objects inside those inner loops — ``g.node(e.src).time``, attribute
 lookups on :class:`~repro.graph.dfg.Edge` — costs far more than the integer
 arithmetic itself.  An :class:`EdgeKernel` extracts the graph once into
 parallel flat lists indexed by small integers so that a probe is a pure
-``zip``-driven integer loop.
+``zip``-driven integer loop; :meth:`EdgeKernel.np_arrays` exposes the same
+layout as numpy arrays for the vectorized relaxation backends.
+
+One kernel per graph is enough for every consumer — the (W, D) builder,
+the incremental feasibility solver, the iteration-bound search and the
+FEAS oracle all share the snapshot through :func:`shared_kernel` (id-keyed
+with a weakref guard, like the dispatch compile cache), so the flat arrays
+are extracted exactly once per graph object.
 
 The kernel is a snapshot: it does not track later mutations of the source
 graph.  Build it after the graph is final (which is how every algorithm in
@@ -16,10 +23,51 @@ this library treats its input).
 
 from __future__ import annotations
 
+import os
+import threading
+import weakref
+
 from ..observability import count
 from .dfg import DFG
 
-__all__ = ["EdgeKernel"]
+__all__ = ["EdgeKernel", "shared_kernel"]
+
+
+def _kernel_threshold(default: int = 256) -> int:
+    """Edge count above which relaxations dispatch to numpy, overridable
+    via ``REPRO_KERNEL_NUMPY_THRESHOLD`` (unparsable values fall back)."""
+    raw = os.environ.get("REPRO_KERNEL_NUMPY_THRESHOLD")
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        return default
+
+
+#: Edge count above which :meth:`EdgeKernel.has_positive_cycle` uses the
+#: vectorized numpy relaxation.  Kept as a module attribute so tests can
+#: monkeypatch it; the environment variable is re-read whenever it changes
+#: (see :func:`_current_threshold`).
+_NUMPY_THRESHOLD = _kernel_threshold()
+_ENV_SNAPSHOT = os.environ.get("REPRO_KERNEL_NUMPY_THRESHOLD")
+
+
+def _current_threshold() -> int:
+    """The live numpy-dispatch threshold.
+
+    Re-reads ``REPRO_KERNEL_NUMPY_THRESHOLD`` whenever the environment
+    value changed since the last look (import-time freezing made the
+    variable silently dead after import), while still honouring direct
+    monkeypatches of :data:`_NUMPY_THRESHOLD` when the environment is
+    untouched.
+    """
+    global _ENV_SNAPSHOT, _NUMPY_THRESHOLD
+    raw = os.environ.get("REPRO_KERNEL_NUMPY_THRESHOLD")
+    if raw != _ENV_SNAPSHOT:
+        _ENV_SNAPSHOT = raw
+        _NUMPY_THRESHOLD = _kernel_threshold()
+    return _NUMPY_THRESHOLD
 
 
 class EdgeKernel:
@@ -48,6 +96,10 @@ class EdgeKernel:
         "dst",
         "delay",
         "src_time",
+        "total_time",
+        "total_delay",
+        "_np_arrays",
+        "__weakref__",
     )
 
     def __init__(self, g: DFG) -> None:
@@ -73,6 +125,27 @@ class EdgeKernel:
         self.dst = dst
         self.delay = delay
         self.src_time = src_time
+        self.total_time = sum(times)
+        self.total_delay = sum(delay)
+        self._np_arrays = None
+
+    def np_arrays(self):
+        """The edge layout as numpy int64 arrays, built lazily once.
+
+        Returns ``(src, dst, delay, src_time, times)``.  Empty graphs get
+        zero-length arrays (callers guard on :attr:`num_edges`).
+        """
+        if self._np_arrays is None:
+            import numpy as np
+
+            self._np_arrays = (
+                np.array(self.src, dtype=np.int64),
+                np.array(self.dst, dtype=np.int64),
+                np.array(self.delay, dtype=np.int64),
+                np.array(self.src_time, dtype=np.int64),
+                np.array(self.times, dtype=np.int64),
+            )
+        return self._np_arrays
 
     def weighted_edges(self, p: int, q: int) -> list[tuple[int, int, int]]:
         """Per-edge integer weights ``q * t(src) - p * d`` for ``λ = p/q``.
@@ -95,12 +168,92 @@ class EdgeKernel:
         cycle of original weight ``>= 0`` becomes strictly positive while a
         cycle of weight ``<= -1`` stays strictly negative — an exact
         encoding, unlike epsilon perturbation over rationals.
+
+        Above :data:`_NUMPY_THRESHOLD` edges the relaxation runs as
+        vectorized scatter-max passes over the flat arrays (provided int64
+        distances cannot overflow); both backends converge to the same
+        longest-path fixpoint and emit the same divergence verdict.
         """
+        if self.num_edges > _current_threshold():
+            scale = 1 if strict else self.num_nodes + 1
+            weights = (
+                q * st - p * d
+                for st, d in zip(self.src_time, self.delay)
+            )
+            max_w = max((abs(w) * scale + 1 for w in weights), default=0)
+            # Distances are bounded by passes * max|w|; require int64 slack.
+            if (self.num_nodes + 2) * max_w < 2**60:
+                return self._has_positive_cycle_numpy(p, q, strict)
         edges = self.weighted_edges(p, q)
         if not strict:
             m = self.num_nodes + 1
             edges = [(s, t, w * m + 1) for (s, t, w) in edges]
         return _longest_path_diverges(edges, self.num_nodes)
+
+    def _has_positive_cycle_numpy(self, p: int, q: int, strict: bool) -> bool:
+        """Vectorized longest-path divergence over the flat edge arrays."""
+        import numpy as np
+
+        src, dst, delay, src_time, _times = self.np_arrays()
+        w = q * src_time - p * delay
+        if not strict:
+            w = w * (self.num_nodes + 1) + 1
+        n = self.num_nodes
+        dist = np.zeros(n, dtype=np.int64)
+        passes = 0
+        diverges = False
+        for _ in range(max(0, n - 1)):
+            passes += 1
+            before = dist.copy()
+            np.maximum.at(dist, dst, before[src] + w)
+            if np.array_equal(dist, before):
+                break
+        else:
+            passes += 1
+            if bool(np.any(dist[src] + w > dist[dst])):
+                diverges = True
+        count("kernel.relax_edges", passes * self.num_edges)
+        count("kernel.relax_sweeps", passes)
+        return diverges
+
+
+_SHARED: dict[int, EdgeKernel] = {}
+_SHARED_LOCK = threading.Lock()
+
+
+def shared_kernel(g: DFG) -> EdgeKernel:
+    """The process-wide :class:`EdgeKernel` of ``g``, built once per graph.
+
+    Id-keyed with a weakref guard (the pattern of
+    :func:`repro.machine.dispatch.compile_program`): a recycled ``id()``
+    after garbage collection can never alias a different graph to a stale
+    kernel, and entries die with their graph.
+    """
+    key = id(g)
+    kernel = _SHARED.get(key)
+    if kernel is not None and _valid(kernel, g):
+        return kernel
+    with _SHARED_LOCK:
+        kernel = _SHARED.get(key)
+        if kernel is not None and _valid(kernel, g):
+            return kernel
+        kernel = EdgeKernel(g)
+        _SHARED[key] = kernel
+        _guards[key] = weakref.ref(g, lambda _ref, k=key: _drop(k))
+    return kernel
+
+
+_guards: dict[int, weakref.ref] = {}
+
+
+def _valid(kernel: EdgeKernel, g: DFG) -> bool:
+    guard = _guards.get(id(g))
+    return guard is not None and guard() is g
+
+
+def _drop(key: int) -> None:
+    _SHARED.pop(key, None)
+    _guards.pop(key, None)
 
 
 def _longest_path_diverges(edges: list[tuple[int, int, int]], n: int) -> bool:
@@ -127,4 +280,5 @@ def _longest_path_diverges(edges: list[tuple[int, int, int]], n: int) -> bool:
                 diverges = True
                 break
     count("kernel.relax_edges", passes * len(edges))
+    count("kernel.relax_sweeps", passes)
     return diverges

@@ -302,6 +302,7 @@ def execute_compiled(
     reg_values: dict[str, int],
     reg_capacity: int | None,
     loop_indices,
+    body_hook: Callable | None = None,
 ) -> tuple[dict[str, dict[int, int]], int, int]:
     """Run a compiled program; returns ``(arrays, executed, disabled)``.
 
@@ -310,6 +311,12 @@ def execute_compiled(
     ``-n < p + offset <= 0``, capacity exhaustion, reads before setup —
     replicate :class:`~repro.machine.registers.ConditionalRegisterFile`
     exactly, including error messages.
+
+    ``body_hook``, when provided (see :func:`repro.machine.trace.body_hook`),
+    is offered the whole loop after the pre region: it either executes every
+    iteration vectorized — returning the ``(executed, disabled)`` deltas —
+    or returns ``None`` with machine state untouched, in which case the
+    interpreter loop below runs as usual.
     """
     arrays: dict[str, dict[int, int]] = {}
     arrays_get = arrays.get
@@ -396,8 +403,13 @@ def execute_compiled(
                 reg_values[reg] -= op[2]
 
     run_region(compiled.pre, None)
-    body = compiled.body
-    for i in loop_indices:
-        run_region(body, i)
+    handled = body_hook(arrays, reg_values) if body_hook is not None else None
+    if handled is None:
+        body = compiled.body
+        for i in loop_indices:
+            run_region(body, i)
+    else:
+        executed += handled[0]
+        disabled += handled[1]
     run_region(compiled.post, None)
     return arrays, executed, disabled

@@ -113,6 +113,7 @@ def run_program(
 
     if dispatch and not trace:
         from .dispatch import compile_program, execute_compiled
+        from .trace import body_hook
 
         if register_capacity is not None and register_capacity < 0:
             raise MachineError(f"capacity must be >= 0, got {register_capacity}")
@@ -125,6 +126,7 @@ def run_program(
                 {},
                 register_capacity,
                 program.loop.iter_indices(n),
+                body_hook=body_hook(compiled, program.loop, n, initial),
             )
             sp.set(executed=executed, disabled=disabled)
         if OBS.enabled:

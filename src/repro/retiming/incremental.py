@@ -23,26 +23,35 @@ Two kinds of incrementality live here:
   fixpoint of a difference-constraint system is its unique shortest-path
   solution, so the warm-started answer is *identical* to a fresh
   Bellman–Ford solve — which the property tests pin exactly.
+
+Above :data:`_NUMPY_THRESHOLD` nodes the relaxation runs dense: the active
+constraint graph (base legality edges plus the O(V²) triggered pairs) is a
+single int64 matrix over the graph's shared
+:class:`~repro.graph.kernel.EdgeKernel` node indexing, and one
+Bellman–Ford pass is one broadcasted min-plus matrix-vector product.  Each
+dense pass computes exactly what the per-edge scatter pass computed from
+the same snapshot, so pass counts, feasibility verdicts and fixpoints are
+all bit-identical; an infeasible probe can additionally exit early when a
+negative cycle is *explicitly verified* on the predecessor graph (the
+verdict an exhausted pass budget would have certified anyway).
 """
 
 from __future__ import annotations
 
+import os
 from bisect import bisect_left
 
 from ..graph.dfg import DFG
+from ..graph.kernel import shared_kernel
+from ..graph.wd import WDKernel
+from ..native import minplus_pass as native_minplus
 from ..observability import count
 from .function import Retiming, RetimingError
 
 __all__ = ["IncrementalFeasibility", "can_push", "push_nodes", "pushable_nodes"]
 
 
-#: Node count above which the vectorized numpy relaxation is used for the
-#: warm-started feasibility solver (the pair-constraint set is dense —
-#: O(V²) edges — so vectorized passes win early).  Overridable via the
-#: ``REPRO_INC_NUMPY_THRESHOLD`` environment variable.
 def _inc_threshold(default: int = 64) -> int:
-    import os
-
     raw = os.environ.get("REPRO_INC_NUMPY_THRESHOLD")
     if raw is None:
         return default
@@ -52,16 +61,36 @@ def _inc_threshold(default: int = 64) -> int:
         return default
 
 
+#: Node count above which the vectorized numpy relaxation is used for the
+#: warm-started feasibility solver (the pair-constraint set is dense —
+#: O(V²) edges — so vectorized passes win early).  Kept as a module
+#: attribute so tests can monkeypatch it; ``REPRO_INC_NUMPY_THRESHOLD`` is
+#: re-read whenever the environment value changes (it used to be frozen at
+#: import time, which made setting it afterwards silently dead).
 _NUMPY_THRESHOLD = _inc_threshold()
+_ENV_SNAPSHOT = os.environ.get("REPRO_INC_NUMPY_THRESHOLD")
+
+
+def _current_threshold() -> int:
+    """The live numpy-dispatch threshold (see :data:`_NUMPY_THRESHOLD`)."""
+    global _ENV_SNAPSHOT, _NUMPY_THRESHOLD
+    raw = os.environ.get("REPRO_INC_NUMPY_THRESHOLD")
+    if raw != _ENV_SNAPSHOT:
+        _ENV_SNAPSHOT = raw
+        _NUMPY_THRESHOLD = _inc_threshold()
+    return _NUMPY_THRESHOLD
 
 
 class IncrementalFeasibility:
     """Warm-started feasibility oracle for the period binary search.
 
-    Built once per graph from the shared ``(W, D)`` matrices.  Each call to
-    :meth:`try_period` answers "is there a legal retiming with cycle period
-    ``<= c``?" and, when feasible, returns the shortest-path solution of the
-    full constraint system — *identical* to
+    Built once per graph from the shared ``(W, D)`` matrices — either the
+    classic pair-keyed dicts (positional ``W``/``D``) or, preferably, a
+    :class:`~repro.graph.wd.WDKernel` (keyword ``wd``) whose dense layout
+    the vectorized backend consumes directly, skipping dict construction
+    entirely.  Each call to :meth:`try_period` answers "is there a legal
+    retiming with cycle period ``<= c``?" and, when feasible, returns the
+    shortest-path solution of the full constraint system — *identical* to
     :meth:`repro.retiming.constraints.DifferenceConstraints.solve` on the
     same system, because the fixpoint of a difference-constraint relaxation
     is unique.
@@ -72,8 +101,8 @@ class IncrementalFeasibility:
     every previously active constraint) so typically only one or two passes
     are needed; probes above the best feasible period are still answered
     correctly via a cold start from the base system.  Relaxation is
-    pass-based Bellman–Ford over flat active-edge arrays — vectorized with
-    numpy above :data:`_NUMPY_THRESHOLD` nodes — with the classic
+    pass-based Bellman–Ford — dense min-plus matrix passes with numpy above
+    :data:`_NUMPY_THRESHOLD` nodes — with the classic
     still-improving-after-``|V|-1``-passes negative-cycle certificate.
 
     Attributes
@@ -87,26 +116,60 @@ class IncrementalFeasibility:
     def __init__(
         self,
         g: DFG,
-        W: dict[tuple[str, str], int],
-        D: dict[tuple[str, str], int],
+        W: dict[tuple[str, str], int] | None = None,
+        D: dict[tuple[str, str], int] | None = None,
+        *,
+        wd: WDKernel | None = None,
     ) -> None:
-        names = g.node_names()
-        index = {n: i for i, n in enumerate(names)}
-        n = len(names)
+        if wd is None and (W is None or D is None):
+            raise ValueError("IncrementalFeasibility needs (W, D) dicts or wd=")
+        kernel = wd.kernel if wd is not None else shared_kernel(g)
+        self._kernel = kernel
+        names = kernel.names
+        index = kernel.index
+        n = kernel.num_nodes
         self._names = names
         self._n = n
-        self._max_time = max((v.time for v in g.nodes()), default=0)
+        self._max_time = max(kernel.times, default=0)
+        self._wd = wd
+        self._W = W
+        self._D = D
 
         # Base legality constraints r(dst) - r(src) <= d(e): relaxation edge
         # src -> dst of weight d.  All weights are >= 0, so the base
         # system's shortest-path fixpoint from the virtual source is the
         # all-zero vector — the base solve is free.
-        self._base = [(index[e.src], index[e.dst], e.delay) for e in g.edges()]
+        self._base = list(zip(kernel.src, kernel.dst, kernel.delay))
 
-        # Pair constraints r(v) - r(u) <= W(u, v) - 1, activated when the
-        # probe period drops below D(u, v).  Sorted by D descending (ties
-        # broken by node index for full determinism), so the constraints
-        # active at period c are exactly a prefix of this list.
+        self._use_numpy = n > _current_threshold() and self._init_numpy()
+        if not self._use_numpy:
+            self._init_python()
+
+        # Committed feasible state: the exact fixpoint of the system with
+        # the pair constraints of the best feasible period so far active.
+        self._best_k = 0
+        self._best_dist: list[int] = [0] * n
+
+        self.stats = {"probes": 0, "relaxations": 0, "constraints_added": 0}
+
+    # ------------------------------------------------------------------
+    # construction of the two relaxation layouts
+    # ------------------------------------------------------------------
+    def _pair_dicts(self) -> tuple[dict, dict]:
+        if self._W is None:
+            self._W, self._D = self._wd.W, self._wd.D
+        return self._W, self._D
+
+    def _init_python(self) -> None:
+        """Sorted flat pair-constraint list for the per-edge backend.
+
+        Pair constraints ``r(v) - r(u) <= W(u, v) - 1`` activate when the
+        probe period drops below ``D(u, v)``; sorting by ``D`` descending
+        (ties broken by node index for full determinism) makes the active
+        set at period ``c`` a prefix of the list.
+        """
+        W, D = self._pair_dicts()
+        index = self._kernel.index
         pairs = sorted(
             (
                 (d_val, index[u], index[v], W[(u, v)] - 1)
@@ -119,36 +182,57 @@ class IncrementalFeasibility:
         # k = bisect_left(neg_d, -c).
         self._neg_d = [-p[0] for p in pairs]
 
-        self._use_numpy = n > _NUMPY_THRESHOLD and self._numpy_safe()
-        if self._use_numpy:
-            import numpy as np
+    def _init_numpy(self) -> bool:
+        """Dense int64 layout over the shared kernel; ``False`` when int64
+        distance arithmetic could overflow (distance magnitudes are bounded
+        by ``(|V| + 1) * max|w|``)."""
+        import numpy as np
 
-            base = self._base or [(0, 0, 0)]  # keep arrays non-empty
-            self._np = np
-            self._b_src = np.array([e[0] for e in base], dtype=np.int64)
-            self._b_dst = np.array([e[1] for e in base], dtype=np.int64)
-            self._b_w = np.array([e[2] for e in base], dtype=np.int64)
-            self._p_src = np.array([e[0] for e in self._pair_edges], dtype=np.int64)
-            self._p_dst = np.array([e[1] for e in self._pair_edges], dtype=np.int64)
-            self._p_w = np.array([e[2] for e in self._pair_edges], dtype=np.int64)
+        if self._wd is not None:
+            Wm, Dm, reach = self._wd.matrices()
+        else:
+            Wm = np.zeros((self._n, self._n), dtype=np.int64)
+            Dm = np.zeros((self._n, self._n), dtype=np.int64)
+            reach = np.zeros((self._n, self._n), dtype=bool)
+            index = self._kernel.index
+            W, D = self._pair_dicts()
+            for (u, v), w in W.items():
+                i, j = index[u], index[v]
+                Wm[i, j] = w
+                Dm[i, j] = D[(u, v)]
+                reach[i, j] = True
 
-        # Committed feasible state: the exact fixpoint of the system with
-        # pair constraints pairs[:best_k] active.
-        self._best_k = 0
-        self._best_dist: list[int] = [0] * n
+        max_w = 0
+        if reach.any():
+            max_w = int(np.abs(Wm[reach] - 1).max())
+        if self._base:
+            max_w = max(max_w, max(w for (_u, _v, w) in self._base))
+        if (self._n + 2) * (max_w + 1) >= 2**60:
+            return False
 
-        self.stats = {"probes": 0, "relaxations": 0, "constraints_added": 0}
-
-    def _numpy_safe(self) -> bool:
-        """Whether int64 arithmetic cannot overflow on this system: distance
-        magnitudes are bounded by ``(|V| + 1) * max|w|``."""
-        weights = [abs(w) for (_u, _v, w) in self._base + self._pair_edges]
-        bound = (self._n + 2) * (max(weights, default=0) + 1)
-        return bound < 2**60
+        INF = np.int64(2**61)
+        self._np = np
+        self._INF = INF
+        base = np.full((self._n, self._n), INF, dtype=np.int64)
+        if self._base:
+            src, dst, delay, _st, _t = self._kernel.np_arrays()
+            np.minimum.at(
+                base, (src.astype(np.intp), dst.astype(np.intp)), delay
+            )
+        self._B = base
+        self._P = np.where(reach, Wm - 1, INF)
+        self._Dm = np.where(reach, Dm, np.int64(-1))  # never triggered
+        # Descending-sorted D values of connected pairs: the active count at
+        # period c (pairs with D > c) via one searchsorted, mirroring the
+        # bisect of the python layout.
+        self._sorted_neg_d = np.sort(-Dm[reach])
+        return True
 
     def _active_count(self, c: int) -> int:
         """Number of pair constraints active at period ``c`` (those with
-        ``D > c``) — a prefix length of the sorted pair list."""
+        ``D > c``)."""
+        if self._use_numpy:
+            return int(self._np.searchsorted(self._sorted_neg_d, -c, side="left"))
         return bisect_left(self._neg_d, -c)
 
     def try_period(self, c: int) -> dict[str, int] | None:
@@ -169,7 +253,7 @@ class IncrementalFeasibility:
         count("retiming.incremental.constraints_added", fresh)
 
         if self._use_numpy:
-            dist = self._relax_numpy(k, warm)
+            dist = self._relax_dense(c, k, warm)
         else:
             dist = self._relax_python(k, warm)
         if dist is None:
@@ -179,7 +263,7 @@ class IncrementalFeasibility:
             # Commit: the fixpoint of a superset system warm-starts every
             # later, tighter probe.
             self._best_k = k
-            self._best_dist = list(dist)
+            self._best_dist = [int(x) for x in dist]
         return {self._names[i]: int(dist[i]) for i in range(self._n)}
 
     # ------------------------------------------------------------------
@@ -197,6 +281,7 @@ class IncrementalFeasibility:
         base = self._base
         active = self._pair_edges[:k]
         relaxations = 0
+        sweeps = 0
         feasible = True
         for _ in range(max(1, self._n - 1)):
             changed = False
@@ -211,6 +296,7 @@ class IncrementalFeasibility:
                     dist[v] = cand
                     changed = True
             relaxations += len(base) + len(active)
+            sweeps += 1
             if not changed:
                 break
         else:
@@ -219,16 +305,22 @@ class IncrementalFeasibility:
                     feasible = False
                     break
             relaxations += len(base) + len(active)
+            sweeps += 1
         self.stats["relaxations"] += relaxations
         count("retiming.incremental.relaxations", relaxations)
+        count("kernel.relax_sweeps", sweeps)
         return dist if feasible else None
 
-    def _relax_numpy(self, k: int, warm: bool):
-        """Vectorized synchronous Bellman–Ford (scatter-min per pass).
+    def _relax_dense(self, c: int, k: int, warm: bool):
+        """Vectorized synchronous Bellman–Ford: min-plus matrix passes.
 
-        Converges to the same unique fixpoint as the sequential pass; a
-        pass that still improves distances after ``|V| - 1`` full passes
-        certifies a negative cycle.
+        One pass reads the ``before`` snapshot and combines base and active
+        pair edges in a single broadcasted min — exactly the update the
+        per-edge scatter pass computes, so pass counts and fixpoints are
+        identical.  A pass that still improves distances after ``|V|``
+        full passes certifies a negative cycle; exponentially spaced
+        predecessor-graph checks can certify one early (the cycle weight is
+        verified in exact integer arithmetic before declaring infeasible).
         """
         np = self._np
         dist = (
@@ -236,27 +328,81 @@ class IncrementalFeasibility:
             if warm
             else np.zeros(self._n, dtype=np.int64)
         )
-        b_src, b_dst, b_w = self._b_src, self._b_dst, self._b_w
-        p_src = self._p_src[:k]
-        p_dst = self._p_dst[:k]
-        p_w = self._p_w[:k]
+        # Active constraint matrix at period c: pair edges with D > c,
+        # tightened against the base legality edges (duplicate (u, v)
+        # bounds bind at their minimum, as in DifferenceConstraints.add).
+        C = np.minimum(self._B, np.where(self._Dm > c, self._P, self._INF))
+        per_pass = len(self._base) + k
         relaxations = 0
+        sweeps = 0
+        check_at = 32
         feasible = None
         for _ in range(max(1, self._n)):
-            before = dist.copy()
-            np.minimum.at(dist, b_dst, before[b_src] + b_w)
-            if k:
-                np.minimum.at(dist, p_dst, before[p_src] + p_w)
-            relaxations += len(b_src) + k
+            before = dist
+            # Optional C build of the pass (REPRO_NATIVE_KERNELS=1); the
+            # numpy expression below is the pinned reference and both are
+            # bit-identical (exact integer min over the same candidates).
+            dist = native_minplus(before, C)
+            if dist is None:
+                dist = np.minimum(before, (before[:, None] + C).min(axis=0))
+            relaxations += per_pass
+            sweeps += 1
             if np.array_equal(dist, before):
                 feasible = True
                 break
+            if sweeps >= check_at:
+                check_at *= 2
+                if self._verified_negative_cycle(before, C):
+                    feasible = False
+                    break
         if feasible is None:
             # Still improving after |V| passes: negative cycle.
             feasible = False
         self.stats["relaxations"] += relaxations
         count("retiming.incremental.relaxations", relaxations)
+        count("kernel.relax_sweeps", sweeps)
         return dist if feasible else None
+
+    def _verified_negative_cycle(self, before, C) -> bool:
+        """Whether the predecessor graph of the next pass provably contains
+        a negative cycle.
+
+        Each still-improving node's argmin predecessor is a real active
+        edge; walking predecessor chains either closes a cycle — whose
+        weight is re-summed in exact python integers and must be negative
+        to certify infeasibility — or dead-ends.  ``False`` is always safe
+        (the pass budget remains the backstop certificate).
+        """
+        np = self._np
+        comb = before[:, None] + C
+        colmin = comb.min(axis=0)
+        pred = comb.argmin(axis=0)
+        half = int(self._INF) // 2
+        state = [0] * self._n  # 0 unvisited / 1 on current walk / 2 done
+        for start in np.nonzero(colmin < before)[0].tolist():
+            if state[start]:
+                continue
+            walk: list[int] = []
+            v = start
+            while state[v] == 0:
+                state[v] = 1
+                walk.append(v)
+                u = int(pred[v])
+                if int(C[u, v]) >= half:
+                    break  # no real incoming edge: dead end
+                v = u
+            else:
+                if state[v] == 1:  # closed a cycle within this walk
+                    cycle = walk[walk.index(v) :]
+                    weight = sum(
+                        int(C[cycle[(i + 1) % len(cycle)], cycle[i]])
+                        for i in range(len(cycle))
+                    )
+                    if weight < 0:
+                        return True
+            for node in walk:
+                state[node] = 2
+        return False
 
 
 def can_push(retimed: DFG, nodes: set[str] | frozenset[str]) -> bool:

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 from ..graph.dfg import DFG
 from ..graph.period import cycle_period
-from ..graph.wd import wd_matrices
+from ..graph.wd import WDKernel, wd_kernel
 from ..observability import count, span
 from .constraints import DifferenceConstraints
 from .function import Retiming
@@ -43,7 +43,9 @@ from .incremental import IncrementalFeasibility
 
 __all__ = ["retime_for_period", "minimize_cycle_period", "minimum_cycle_period"]
 
-_WD = tuple[dict[tuple[str, str], int], dict[tuple[str, str], int]]
+_WD = (
+    tuple[dict[tuple[str, str], int], dict[tuple[str, str], int]] | WDKernel
+)
 
 
 def retime_for_period(
@@ -60,8 +62,9 @@ def retime_for_period(
     impossible regardless of retiming; that case returns ``None``
     immediately.
 
-    ``wd`` supplies precomputed ``(W, D)`` matrices (from
-    :func:`repro.graph.wd.wd_matrices`) so that repeated probes on the same
+    ``wd`` supplies precomputed ``(W, D)`` matrices — either the dict pair
+    from :func:`repro.graph.wd.wd_matrices` or a
+    :class:`~repro.graph.wd.WDKernel` — so that repeated probes on the same
     graph skip the O(V³) recomputation; ``verify=False`` skips the
     self-check that re-applies the witness and recomputes its cycle period
     (the reduction is exact; the check is for the function's self-checking
@@ -71,7 +74,9 @@ def retime_for_period(
     if any(v.time > c for v in g.nodes()):
         return None
 
-    W, D = wd if wd is not None else wd_matrices(g)
+    if wd is None:
+        wd = wd_kernel(g)
+    W, D = (wd.W, wd.D) if isinstance(wd, WDKernel) else wd
     system = DifferenceConstraints()
     for n in g.node_names():
         system.add_variable(n)
@@ -96,7 +101,7 @@ def minimize_cycle_period(
     *,
     method: str = "incremental",
     verify: bool = False,
-    wd: tuple[dict, dict] | None = None,
+    wd: _WD | None = None,
 ) -> tuple[int, Retiming]:
     """The minimum cycle period achievable by retiming, with a witness.
 
@@ -108,9 +113,10 @@ def minimize_cycle_period(
     strategies return identical results.  ``verify=True`` additionally
     re-applies every feasible probe's witness and checks its period (always
     on for ``method="reference"``, matching the original behavior).
-    ``wd`` supplies precomputed :func:`wd_matrices` output (ignored by
-    ``method="reference"``) — long-lived callers such as the request
-    server keep the (W, D) matrices warm across calls this way.
+    ``wd`` supplies precomputed (W, D) data — the :func:`wd_matrices` dict
+    pair or a :class:`~repro.graph.wd.WDKernel` (ignored by
+    ``method="reference"``) — so long-lived callers such as the request
+    server keep the matrices warm across calls.
     """
     if method not in ("incremental", "shared", "reference"):
         raise ValueError(f"unknown minimize_cycle_period method {method!r}")
@@ -125,10 +131,20 @@ def minimize_cycle_period(
                 return retime_for_period(g, c)
 
         else:
-            W, D = wd if wd is not None else wd_matrices(g)
-            candidates = sorted(set(D.values()))
+            if wd is None:
+                wd = wd_kernel(g)
+            if isinstance(wd, WDKernel):
+                wdk = wd
+                candidates = wdk.d_values()
+            else:
+                wdk = None
+                _W, D = wd
+                candidates = sorted(set(D.values()))
             if method == "incremental":
-                solver = IncrementalFeasibility(g, W, D)
+                if wdk is not None:
+                    solver = IncrementalFeasibility(g, wd=wdk)
+                else:
+                    solver = IncrementalFeasibility(g, *wd)
 
                 def probe(c: int) -> Retiming | None:
                     solution = solver.try_period(c)
@@ -145,7 +161,7 @@ def minimize_cycle_period(
             else:  # "shared"
 
                 def probe(c: int) -> Retiming | None:
-                    return retime_for_period(g, c, wd=(W, D), verify=verify)
+                    return retime_for_period(g, c, wd=wd, verify=verify)
 
         lo, hi = 0, len(candidates) - 1
         best: tuple[int, Retiming] | None = None

@@ -5,9 +5,11 @@ JSON out — the process-pool pickling contract, same as
 :func:`repro.runner.jobs.execute_job`).  Two warm pools make the
 server's repeat-heavy traffic cheap even on cache misses:
 
-* :data:`WD_POOL` keeps the shared (W, D) matrices of recently analyzed
-  graphs, fed into :func:`~repro.retiming.optimal.minimize_cycle_period`
-  via its ``wd=`` parameter;
+* :data:`WD_POOL` keeps the shared (W, D) kernels
+  (:class:`~repro.graph.wd.WDKernel` — dense matrices plus lazily
+  materialized dicts) of recently analyzed graphs, fed into
+  :func:`~repro.retiming.optimal.minimize_cycle_period` via its ``wd=``
+  parameter, so warm-pool hits skip the flat edge-array rebuild too;
 * the compiled-program pool of :mod:`repro.machine.dispatch`
   (:func:`~repro.machine.dispatch.warm_program`) keeps built CSR
   programs alive so the id-keyed dispatch compilation cache hits across
@@ -29,7 +31,7 @@ from ..graph.dfg import DFGError
 from ..graph.iteration_bound import iteration_bound
 from ..graph.period import cycle_period
 from ..graph.serialize import from_json
-from ..graph.wd import wd_matrices
+from ..graph.wd import wd_kernel
 from ..machine.dispatch import WarmPool, warm_program
 from ..machine.vm import run_program
 from ..observability import span
@@ -60,7 +62,7 @@ def analyze_graph(params: dict) -> dict:
             graph_json = params["graph"]
             g = from_json(graph_json)
             digest = graph_digest(graph_json)
-            wd = WD_POOL.get_or_build(digest, lambda: wd_matrices(g))
+            wd = WD_POOL.get_or_build(digest, lambda: wd_kernel(g))
             period, r = minimize_cycle_period(g, method="shared", wd=wd)
             program = warm_program(
                 ("csr-pipelined", digest), lambda: csr_pipelined_loop(g, r)

@@ -120,6 +120,35 @@ class TestIncrementalFeasibility:
                     fresh.as_dict()
                 )
 
+    @given(
+        dfgs(max_nodes=7, max_extra_edges=6, max_delay=3),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_backends_agree_under_arbitrary_probe_order(self, g, seed):
+        """The dense numpy relaxation and the per-edge python relaxation
+        answer every probe identically — feasibility *and* fixpoint — for
+        any interleaving of cold and warm probes, including revisits."""
+        import random
+
+        from repro.retiming import incremental as inc_mod
+
+        order = None
+        results = {}
+        saved = inc_mod._NUMPY_THRESHOLD
+        try:
+            for label, threshold in (("python", 10**9), ("numpy", 0)):
+                inc_mod._NUMPY_THRESHOLD = threshold
+                _wd, solver, candidates = self._solver_and_candidates(g)
+                assert solver._use_numpy == (label == "numpy")
+                if order is None:
+                    order = list(candidates) * 2
+                    random.Random(seed).shuffle(order)
+                results[label] = [solver.try_period(c) for c in order]
+        finally:
+            inc_mod._NUMPY_THRESHOLD = saved
+        assert results["python"] == results["numpy"]
+
     @given(dfgs(max_nodes=8, max_extra_edges=8, max_delay=4, max_time=4))
     @settings(max_examples=40, deadline=None)
     def test_minimize_methods_agree_exactly(self, g):
