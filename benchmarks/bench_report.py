@@ -1,0 +1,89 @@
+"""Experiment E6 — the report pipeline: scan, aggregate, render.
+
+Times the three phases a ``python -m repro report`` invocation spends
+its wall clock in: the read-only multi-run scan over a wide tree of
+journals, full report assembly from scanned inputs, and the renderers.
+The fixture tree is synthesized once per session (many small journals),
+so the numbers track scanner/aggregation throughput, not fixture cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import (
+    build_report,
+    diff_reports,
+    load_report_doc,
+    render_latex,
+    render_markdown,
+    report_json,
+)
+from repro.runner.journal import RunJournal, scan_run_dirs
+
+N_RUNS = 24
+JOBS_PER_RUN = 40
+
+
+@pytest.fixture(scope="session")
+def runs_tree(tmp_path_factory):
+    """A wide synthetic runs tree: N_RUNS journals of JOBS_PER_RUN units."""
+    root = tmp_path_factory.mktemp("report-runs")
+    for r in range(N_RUNS):
+        journal = RunJournal(root / f"run{r:02d}", fsync=False)
+        journal.run_start("sweep", {"run": r})
+        for i in range(JOBS_PER_RUN):
+            seed = r * JOBS_PER_RUN + i
+            for transform, size in (("pipelined", 10 + i % 7), ("csr-pipelined", 6 + i % 5)):
+                label = f"rand{seed}/{transform}/f=1/n=3"
+                journal.job_submitted(f"k:{label}", label)
+                journal.job_done(
+                    f"k:{label}",
+                    label,
+                    {"ok": True, "code_size": size, "compute_time": 0.0},
+                    outcome={"status": "ok"},
+                )
+        journal.run_end("ok")
+        journal.close()
+    return root
+
+
+def test_scan_run_dirs_benchmark(benchmark, runs_tree):
+    """Raw scan throughput: checksum-verify every record in the tree."""
+    scan = benchmark(scan_run_dirs, [runs_tree])
+    assert len(scan.journals) == N_RUNS
+    assert not scan.skipped
+
+
+def test_build_report_benchmark(benchmark, runs_tree):
+    """Scan + frames + every section builder (the full aggregation)."""
+    report = benchmark(build_report, [runs_tree])
+    section = report.section("code-size")
+    assert section.status == "ok"
+    assert section.data["stats"]["pipelined"]["graphs"] == N_RUNS * JOBS_PER_RUN
+
+
+def test_render_benchmark(benchmark, runs_tree):
+    """All three renderers over a built report (no re-aggregation)."""
+    report = build_report([runs_tree])
+
+    def render():
+        return (
+            render_markdown(report),
+            render_latex(report),
+            report_json(report),
+        )
+
+    md, tex, js = benchmark(render)
+    assert md and tex and js
+
+
+def test_diff_benchmark(benchmark, runs_tree):
+    """The CI regression gate: compare a report document against itself."""
+    doc = load_report_doc(runs_tree)
+
+    def diff():
+        return diff_reports(doc, doc)
+
+    result = benchmark(diff)
+    assert result.clean

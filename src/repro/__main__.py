@@ -162,6 +162,12 @@ def _cmd_tables(args) -> int:
     return tables_main(args)
 
 
+def _cmd_report(args) -> int:
+    from .analysis.report import report_main
+
+    return report_main(args)
+
+
 def _cmd_sweep(args) -> int:
     """Randomized differential sweep through the experiment engine.
 
@@ -347,6 +353,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("tables", nargs="*", choices=["1", "2", "3", "4"], metavar="N")
     add_engine_arguments(p)
     p.set_defaults(fn=_cmd_tables)
+
+    p = sub.add_parser(
+        "report",
+        help="aggregate journaled runs into publication tables (markdown "
+        "+ LaTeX + report.json; --diff gates regressions; see "
+        "docs/REPORT.md)",
+    )
+    from .analysis.report import DEFAULT_COUNTER_RATIO
+
+    p.add_argument("runs", nargs="*", metavar="RUNS-DIR")
+    p.add_argument("-o", "--out", default=None, metavar="DIR")
+    p.add_argument("--paper-tables", action="store_true")
+    p.add_argument("--diff", nargs=2, metavar=("A", "B"), default=None)
+    p.add_argument(
+        "--counter-ratio", type=float, default=DEFAULT_COUNTER_RATIO, metavar="X"
+    )
+    p.set_defaults(fn=_cmd_report)
 
     p = sub.add_parser(
         "profile",

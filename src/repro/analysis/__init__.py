@@ -5,6 +5,7 @@ from .experiments import (
     PAPER_TABLE2,
     PAPER_TABLE3,
     PAPER_TABLE4,
+    TABLE_TITLES,
     OrderComparison,
     Table1Row,
     Table2Row,
@@ -16,16 +17,28 @@ from .experiments import (
     table3_comparison,
     table4_comparison,
 )
-from .tables import format_gap_table, format_table
+from .frames import Frame, bootstrap_ci
+from .tables import (
+    FailedCell,
+    format_gap_table,
+    format_latex_table,
+    format_markdown_table,
+    format_table,
+    latex_escape,
+)
 
 __all__ = [
     "PAPER_TABLE1",
     "PAPER_TABLE2",
     "PAPER_TABLE3",
     "PAPER_TABLE4",
+    "TABLE_TITLES",
+    "FailedCell",
+    "Frame",
     "OrderComparison",
     "Table1Row",
     "Table2Row",
+    "bootstrap_ci",
     "format_order_comparison",
     "format_table1",
     "format_table2",
@@ -35,4 +48,7 @@ __all__ = [
     "table4_comparison",
     "format_table",
     "format_gap_table",
+    "format_latex_table",
+    "format_markdown_table",
+    "latex_escape",
 ]

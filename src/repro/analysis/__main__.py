@@ -31,6 +31,7 @@ from ..runner.resilience import FaultPlan, RetryPolicy
 from .experiments import (
     PAPER_TABLE3,
     PAPER_TABLE4,
+    TABLE_TITLES,
     format_order_comparison,
     format_table1,
     format_table2,
@@ -261,20 +262,22 @@ def report_resilience(args: argparse.Namespace, engine: ExperimentEngine) -> int
 
 
 def print_tables(wanted: set[str], engine: ExperimentEngine) -> None:
+    # Titles come from TABLE_TITLES so this live output and the report
+    # pipeline's --paper-tables rendering stay byte-identical.
     if "1" in wanted:
-        print("=== Table 1: code size after retiming and registers needed ===")
+        print(f"=== {TABLE_TITLES['1']} ===")
         print(format_table1(table1_rows(engine=engine)))
         print()
     if "2" in wanted:
-        print("=== Table 2: retiming + unfolding (f=3, LC=101) ===")
+        print(f"=== {TABLE_TITLES['2']} ===")
         print(format_table2(table2_rows(engine=engine)))
         print()
     if "3" in wanted:
-        print("=== Table 3: order comparison, Figure-8 DFG ===")
+        print(f"=== {TABLE_TITLES['3']} ===")
         print(format_order_comparison(table3_comparison(engine=engine), PAPER_TABLE3))
         print()
     if "4" in wanted:
-        print("=== Table 4: 4-stage lattice at iteration period 8 ===")
+        print(f"=== {TABLE_TITLES['4']} ===")
         print(format_order_comparison(table4_comparison(engine=engine), PAPER_TABLE4))
         print()
 
@@ -305,6 +308,13 @@ def tables_main(args: argparse.Namespace) -> int:
 
 
 def main(argv: list[str]) -> int:
+    if argv and argv[0] == "report":
+        # ``python -m repro.analysis report ...`` is an alias for
+        # ``python -m repro report ...`` (the report pipeline lives in
+        # this package; see docs/REPORT.md).
+        from .report import main as report_cli
+
+        return report_cli(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     bad = [t for t in args.tables if t not in {"1", "2", "3", "4"}]

@@ -38,13 +38,14 @@ from ..retiming.function import Retiming
 from ..retiming.optimal import minimize_cycle_period
 from ..unfolding.orders import retime_unfold, unfold_retime
 from ..workloads.registry import BENCHMARKS, PAPER_LABELS, get_workload
-from .tables import format_table
+from .tables import FailedCell, format_table
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner uses core)
     from ..runner.engine import ExperimentEngine
 
 __all__ = [
     "FailedCell",
+    "TABLE_TITLES",
     "Table1Row",
     "Table2Row",
     "OrderComparison",
@@ -52,6 +53,12 @@ __all__ = [
     "table2_rows",
     "table3_comparison",
     "table4_comparison",
+    "table1_row_from_payload",
+    "table2_row_from_payload",
+    "order_comparison_from_payload",
+    "table1_cells",
+    "table2_cells",
+    "order_comparison_cells",
     "format_table1",
     "format_table2",
     "format_order_comparison",
@@ -60,6 +67,16 @@ __all__ = [
     "PAPER_TABLE3",
     "PAPER_TABLE4",
 ]
+
+#: Section titles the tables CLI prints (``=== {title} ===``) — shared
+#: with the report pipeline so ``python -m repro report`` reproduces the
+#: CLI's paper-table output byte-identically.
+TABLE_TITLES: dict[str, str] = {
+    "1": "Table 1: code size after retiming and registers needed",
+    "2": "Table 2: retiming + unfolding (f=3, LC=101)",
+    "3": "Table 3: order comparison, Figure-8 DFG",
+    "4": "Table 4: 4-stage lattice at iteration period 8",
+}
 
 # ----------------------------------------------------------------------
 # Published numbers (for side-by-side reporting).
@@ -104,29 +121,8 @@ PAPER_TABLE4: dict[str, tuple[int, int, int]] = {
 # ----------------------------------------------------------------------
 # Graceful degradation: a row whose engine job died after retries.
 # ----------------------------------------------------------------------
-
-
-@dataclass(frozen=True)
-class FailedCell:
-    """Placeholder for a table row/column whose unit of work FAILED.
-
-    The engine's resilience layer degrades a retry-exhausted job into a
-    structured failure payload instead of raising; the table drivers map
-    such payloads onto this marker so the run renders ``FAILED`` cells
-    (and exits non-zero with a summary) rather than dying mid-report.
-
-    ``status`` preserves *how* the unit died: ``"failed"`` /
-    ``"timed_out"`` for engine-level exhaustion (the payload's
-    ``status`` field), ``"error"`` for deterministic in-band graph
-    errors — so status-aware renderings (the oracle gap table) can
-    distinguish a crash from a deadline from a bad graph.
-    """
-
-    name: str = ""
-    label: str = "?"
-    factor: int = 0
-    error: str = ""
-    status: str = "error"
+# (FailedCell itself lives in .tables so every renderer — plain,
+# markdown, LaTeX — can typeset the marker without importing drivers.)
 
 
 def _failed_cell(payload: dict, name: str = "", label: str = "?", factor: int = 0):
@@ -222,13 +218,22 @@ def table1_rows(engine: "ExperimentEngine | None" = None) -> list[Table1Row]:
     ]
 
 
-def format_table1(rows: list[Table1Row] | None = None) -> str:
-    """Side-by-side paper vs. measured rendering of Table 1."""
-    rows = rows if rows is not None else table1_rows()
-    out = []
+def table1_row_from_payload(name: str, payload: dict) -> "Table1Row | FailedCell":
+    """Rebuild one Table-1 row from a journaled/cached payload.
+
+    The report pipeline's entry point: a ``tables`` run journal records
+    exactly the :func:`_table1_payload` dicts, so rows rebuilt here
+    render byte-identically to the live CLI's.
+    """
+    return _table1_row(name, get_workload(name), payload)
+
+
+def table1_cells(rows: list["Table1Row | FailedCell"]) -> tuple[list[str], list[list]]:
+    """Table 1's ``(headers, cell rows)`` — shared by every renderer."""
+    out: list[list] = []
     for row in rows:
         if isinstance(row, FailedCell):
-            out.append([row.label] + ["FAILED"] * 9)
+            out.append([row.label] + [row] * 9)
             continue
         p = PAPER_TABLE1[row.name]
         out.append(
@@ -245,21 +250,25 @@ def format_table1(rows: list[Table1Row] | None = None) -> str:
                 row.reduction_pct,
             ]
         )
-    return format_table(
-        [
-            "Benchmark",
-            "Orig",
-            "Ret(paper)",
-            "Ret(ours)",
-            "CR(paper)",
-            "CR(ours)",
-            "Rgs(paper)",
-            "Rgs(ours)",
-            "%Red(paper)",
-            "%Red(ours)",
-        ],
-        out,
-    )
+    headers = [
+        "Benchmark",
+        "Orig",
+        "Ret(paper)",
+        "Ret(ours)",
+        "CR(paper)",
+        "CR(ours)",
+        "Rgs(paper)",
+        "Rgs(ours)",
+        "%Red(paper)",
+        "%Red(ours)",
+    ]
+    return headers, out
+
+
+def format_table1(rows: list[Table1Row] | None = None) -> str:
+    """Side-by-side paper vs. measured rendering of Table 1."""
+    rows = rows if rows is not None else table1_rows()
+    return format_table(*table1_cells(rows))
 
 
 # ----------------------------------------------------------------------
@@ -314,27 +323,35 @@ def table2_rows(
     else:
         payloads = [_table2_payload(p) for p in params]
     return [
-        _failed_cell(payload, name=name, label=PAPER_LABELS[name], factor=f)
-        or Table2Row(
-            name=name,
-            label=PAPER_LABELS[name],
-            factor=f,
-            trip_count=n,
-            expanded=payload["expanded"],
-            csr=payload["csr"],
-            registers=payload["registers"],
-        )
+        table2_row_from_payload(name, payload, f=f, n=n)
         for name, payload in zip(BENCHMARKS, payloads)
     ]
 
 
-def format_table2(rows: list[Table2Row] | None = None) -> str:
-    """Side-by-side paper vs. measured rendering of Table 2."""
-    rows = rows if rows is not None else table2_rows()
-    out = []
+def table2_row_from_payload(
+    name: str, payload: dict, f: int = 3, n: int = 101
+) -> "Table2Row | FailedCell":
+    """Rebuild one Table-2 row from a journaled/cached payload."""
+    failed = _failed_cell(payload, name=name, label=PAPER_LABELS[name], factor=f)
+    if failed is not None:
+        return failed
+    return Table2Row(
+        name=name,
+        label=PAPER_LABELS[name],
+        factor=f,
+        trip_count=n,
+        expanded=payload["expanded"],
+        csr=payload["csr"],
+        registers=payload["registers"],
+    )
+
+
+def table2_cells(rows: list["Table2Row | FailedCell"]) -> tuple[list[str], list[list]]:
+    """Table 2's ``(headers, cell rows)`` — shared by every renderer."""
+    out: list[list] = []
     for row in rows:
         if isinstance(row, FailedCell):
-            out.append([row.label] + ["FAILED"] * 8)
+            out.append([row.label] + [row] * 8)
             continue
         p = PAPER_TABLE2[row.name]
         out.append(
@@ -350,20 +367,24 @@ def format_table2(rows: list[Table2Row] | None = None) -> str:
                 row.reduction_pct,
             ]
         )
-    return format_table(
-        [
-            "Benchmark",
-            "R-U(paper)",
-            "R-U(ours)",
-            "CR(paper)",
-            "CR(ours)",
-            "Rgs(paper)",
-            "Rgs(ours)",
-            "%Red(paper)",
-            "%Red(ours)",
-        ],
-        out,
-    )
+    headers = [
+        "Benchmark",
+        "R-U(paper)",
+        "R-U(ours)",
+        "CR(paper)",
+        "CR(ours)",
+        "Rgs(paper)",
+        "Rgs(ours)",
+        "%Red(paper)",
+        "%Red(ours)",
+    ]
+    return headers, out
+
+
+def format_table2(rows: list[Table2Row] | None = None) -> str:
+    """Side-by-side paper vs. measured rendering of Table 2."""
+    rows = rows if rows is not None else table2_rows()
+    return format_table(*table2_cells(rows))
 
 
 # ----------------------------------------------------------------------
@@ -423,6 +444,22 @@ def _orders_payload(params: dict) -> dict:
     }
 
 
+def order_comparison_from_payload(
+    f: int, csr_mode: str, payload: dict, name: str = ""
+) -> "OrderComparison | FailedCell":
+    """Rebuild one order-comparison column from a journaled payload.
+
+    ``csr_mode`` is not recorded in the payload (it is part of the cache
+    key's params) — callers pass the mode the table used:
+    :data:`~repro.core.predicated.PER_ITERATION` for Table 3,
+    :data:`~repro.core.predicated.PER_COPY` for Table 4.
+    """
+    failed = _failed_cell(payload, name=name, factor=f)
+    if failed is not None:
+        return failed
+    return _comparison_from_payload(f, csr_mode, payload)
+
+
 def _comparison_from_payload(f: int, csr_mode: str, payload: dict) -> OrderComparison:
     return OrderComparison(
         factor=f,
@@ -461,8 +498,7 @@ def _compare_orders(
     else:
         payloads = [_orders_payload(p) for p in params]
     return [
-        _failed_cell(payload, name=g.name, factor=f)
-        or _comparison_from_payload(f, csr_mode, payload)
+        order_comparison_from_payload(f, csr_mode, payload, name=g.name)
         for f, payload in zip(factors, payloads)
     ]
 
@@ -489,14 +525,15 @@ def table4_comparison(
     )
 
 
-def format_order_comparison(
-    cols: list[OrderComparison], paper: dict[str, tuple] | None = None
-) -> str:
-    """Tables 3/4-style rendering: approaches as rows, factors as columns."""
+def order_comparison_cells(
+    cols: list["OrderComparison | FailedCell"], paper: dict[str, tuple] | None = None
+) -> tuple[list[str], list[list]]:
+    """Tables 3/4's ``(headers, cell rows)``: approaches as rows, factors
+    as columns — shared by every renderer."""
     headers = ["Approach"] + [f"uf={c.factor}" for c in cols]
 
     def cell(c: "OrderComparison | FailedCell", attr: str, render=lambda v: v):
-        return "FAILED" if isinstance(c, FailedCell) else render(getattr(c, attr))
+        return c if isinstance(c, FailedCell) else render(getattr(c, attr))
 
     rows: list[list[object]] = [
         ["unfold-retime"] + [cell(c, "unfold_retime_size") for c in cols],
@@ -510,4 +547,11 @@ def format_order_comparison(
                 rows.append([f"{label} (paper)"] + list(paper[label]))
         if "iteration period" in paper:
             rows.append(["iteration period (paper)"] + list(paper["iteration period"]))
-    return format_table(headers, rows)
+    return headers, rows
+
+
+def format_order_comparison(
+    cols: list[OrderComparison], paper: dict[str, tuple] | None = None
+) -> str:
+    """Tables 3/4-style rendering: approaches as rows, factors as columns."""
+    return format_table(*order_comparison_cells(cols, paper))

@@ -1,15 +1,68 @@
-"""Plain-text table rendering for experiment reports.
+"""Table rendering for experiment reports: plain text, markdown, LaTeX.
 
-Minimal, dependency-free formatting shared by the benchmark harness and the
-example scripts: monospace columns, right-aligned numbers, a separator rule
-under the header.
+Dependency-free formatting shared by the benchmark harness, the example
+scripts and the publication report pipeline
+(:mod:`repro.analysis.report`).  All three renderers eat the same
+``(headers, rows)`` cell lists, so a table's plain, markdown and LaTeX
+forms always agree cell-for-cell; the only renderer-specific behavior is
+how *marker* cells — :class:`FailedCell` placeholders and the oracle gap
+table's ``FAILED`` / ``TIMED_OUT`` / ``ERROR`` strings — are typeset.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
-__all__ = ["format_table", "format_gap_table", "GAP_TABLE_HEADERS"]
+__all__ = [
+    "FailedCell",
+    "GAP_TABLE_HEADERS",
+    "MARKER_STRINGS",
+    "format_gap_table",
+    "gap_table_cells",
+    "format_latex_table",
+    "format_markdown_table",
+    "format_table",
+    "latex_escape",
+]
+
+
+# ----------------------------------------------------------------------
+# Graceful degradation: a row whose engine job died after retries.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FailedCell:
+    """Placeholder for a table row/column whose unit of work FAILED.
+
+    The engine's resilience layer degrades a retry-exhausted job into a
+    structured failure payload instead of raising; the table drivers map
+    such payloads onto this marker so the run renders ``FAILED`` cells
+    (and exits non-zero with a summary) rather than dying mid-report.
+
+    ``status`` preserves *how* the unit died: ``"failed"`` /
+    ``"timed_out"`` for engine-level exhaustion (the payload's
+    ``status`` field), ``"error"`` for deterministic in-band graph
+    errors — so status-aware renderings (the oracle gap table, the LaTeX
+    emitter) can distinguish a crash from a deadline from a bad graph.
+    """
+
+    name: str = ""
+    label: str = "?"
+    factor: int = 0
+    error: str = ""
+    status: str = "error"
+
+
+#: Marker strings the status-aware renderers may receive as plain cells
+#: (the gap table builds these from ``status.upper()``).
+MARKER_STRINGS: frozenset[str] = frozenset({"FAILED", "TIMED_OUT", "ERROR"})
+
+
+# ----------------------------------------------------------------------
+# Plain monospace tables
+# ----------------------------------------------------------------------
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
@@ -33,10 +86,121 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> st
 
 
 def _cell(x: object) -> str:
+    if isinstance(x, FailedCell):
+        # The historical plain rendering: a flat FAILED marker (status
+        # detail lives in the failure summary, not the table body).
+        return "FAILED"
     if isinstance(x, float):
         return f"{x:.1f}"
     return str(x)
 
+
+# ----------------------------------------------------------------------
+# Markdown tables
+# ----------------------------------------------------------------------
+
+
+def format_markdown_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """GitHub-flavored pipe table over the same cells as :func:`format_table`.
+
+    The first column is left-aligned (labels), the rest right-aligned
+    (numbers) — the convention every table in the paper follows.
+    """
+    materialized = [[_cell(x) for x in row] for row in rows]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+    aligns = ["---" if k == 0 else "---:" for k in range(len(headers))]
+    lines = [
+        "| " + " | ".join(str(h) for h in headers) + " |",
+        "| " + " | ".join(aligns) + " |",
+    ]
+    lines.extend("| " + " | ".join(row) + " |" for row in materialized)
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# LaTeX tables
+# ----------------------------------------------------------------------
+
+_LATEX_SPECIALS = {
+    "\\": r"\textbackslash{}",
+    "&": r"\&",
+    "%": r"\%",
+    "$": r"\$",
+    "#": r"\#",
+    "_": r"\_",
+    "{": r"\{",
+    "}": r"\}",
+    "~": r"\textasciitilde{}",
+    "^": r"\textasciicircum{}",
+}
+
+
+def latex_escape(text: str) -> str:
+    """Escape LaTeX special characters in one cell of table text."""
+    return "".join(_LATEX_SPECIALS.get(ch, ch) for ch in str(text))
+
+
+def _latex_cell(x: object) -> str:
+    """One LaTeX table cell — the status-aware marker rendering path.
+
+    :class:`FailedCell` placeholders and bare marker strings
+    (``FAILED`` / ``TIMED_OUT`` / ``ERROR``) typeset as small caps with
+    the underscore spelled as a space: ``\\textsc{timed out}`` — valid
+    LaTeX where the raw marker would be an underscore error outside
+    math mode.
+    """
+    if isinstance(x, FailedCell):
+        return r"\textsc{" + x.status.replace("_", " ").lower() + "}"
+    if isinstance(x, str) and x in MARKER_STRINGS:
+        return r"\textsc{" + x.replace("_", " ").lower() + "}"
+    return latex_escape(_cell(x))
+
+
+def format_latex_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    caption: str | None = None,
+    label: str | None = None,
+) -> str:
+    """Render the same cells as :func:`format_table` as a LaTeX table.
+
+    Plain ``tabular`` (no package dependencies): first column ``l``, the
+    rest ``r``, ``\\hline`` rules.  Cells go through
+    :func:`latex_escape`; marker cells (:class:`FailedCell` or the gap
+    table's status strings) take the :func:`_latex_cell` small-caps
+    path.
+    """
+    materialized = [[_latex_cell(x) for x in row] for row in rows]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+    colspec = "l" + "r" * (len(headers) - 1)
+    lines = [r"\begin{table}[ht]", r"\centering", r"\begin{tabular}{" + colspec + "}"]
+    lines.append(r"\hline")
+    lines.append(" & ".join(latex_escape(h) for h in headers) + r" \\")
+    lines.append(r"\hline")
+    lines.extend(" & ".join(row) + r" \\" for row in materialized)
+    lines.append(r"\hline")
+    lines.append(r"\end{tabular}")
+    if caption is not None:
+        lines.append(r"\caption{" + latex_escape(caption) + "}")
+    if label is not None:
+        lines.append(r"\label{" + label + "}")
+    lines.append(r"\end{table}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# The oracle gap table (``sweep --oracle``)
+# ----------------------------------------------------------------------
 
 #: Gap-table columns, in order.  ``period*`` is the oracle's certified
 #: optimum (best witnessed period); ``lower`` its certified lower bound.
@@ -50,15 +214,8 @@ GAP_TABLE_HEADERS: tuple[str, ...] = (
 )
 
 
-def format_gap_table(rows: Iterable[Mapping[str, object]]) -> str:
-    """Render per-graph oracle optimality gaps (``sweep --oracle``).
-
-    Each row mapping carries ``seed``, ``label``, ``status`` and — for
-    ``status == "ok"`` — ``period``, ``optimum_lower``, ``proven`` and
-    ``gap``.  Rows whose oracle job did not complete render their status
-    as marker cells (``FAILED`` / ``TIMED_OUT`` / ``ERROR``), the same
-    graceful degradation as the paper tables' FAILED cells.
-    """
+def gap_table_cells(rows: Iterable[Mapping[str, object]]) -> list[list[object]]:
+    """The gap table's cell lists (shared by all three renderers)."""
     out: list[list[object]] = []
     for row in rows:
         status = str(row.get("status", "ok"))
@@ -76,4 +233,16 @@ def format_gap_table(rows: Iterable[Mapping[str, object]]) -> str:
                 row.get("gap"),
             ]
         )
-    return format_table(list(GAP_TABLE_HEADERS), out)
+    return out
+
+
+def format_gap_table(rows: Iterable[Mapping[str, object]]) -> str:
+    """Render per-graph oracle optimality gaps (``sweep --oracle``).
+
+    Each row mapping carries ``seed``, ``label``, ``status`` and — for
+    ``status == "ok"`` — ``period``, ``optimum_lower``, ``proven`` and
+    ``gap``.  Rows whose oracle job did not complete render their status
+    as marker cells (``FAILED`` / ``TIMED_OUT`` / ``ERROR``), the same
+    graceful degradation as the paper tables' FAILED cells.
+    """
+    return format_table(list(GAP_TABLE_HEADERS), gap_table_cells(rows))

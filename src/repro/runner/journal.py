@@ -48,9 +48,13 @@ __all__ = [
     "RECORD_TYPES",
     "JournalError",
     "JournalScan",
+    "MultiRunScan",
     "RunCheckpoint",
+    "RunDirScan",
     "RunJournal",
+    "SkippedInput",
     "scan_journal",
+    "scan_run_dirs",
 ]
 
 #: Journal file name inside a run directory.
@@ -334,6 +338,172 @@ def scan_journal(path: Path | str) -> JournalScan:
         scan.records.append(doc)
         expected_seq = doc["seq"] + 1
     return scan
+
+
+# ----------------------------------------------------------------------
+# Read-only multi-run scanning (the report pipeline's loader).
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunDirScan:
+    """One successfully scanned journal inside a runs tree.
+
+    ``name`` is the journal's path relative to the scan root it was found
+    under — a machine-stable identifier that two scans of equal trees
+    agree on regardless of where the trees live on disk.
+    """
+
+    path: Path
+    name: str
+    scan: JournalScan
+
+    @property
+    def command(self) -> str | None:
+        start = self.scan.start_record()
+        return start["command"] if start else None
+
+    @property
+    def config(self) -> dict:
+        start = self.scan.start_record()
+        return dict(start["config"]) if start else {}
+
+
+@dataclass(frozen=True)
+class SkippedInput:
+    """One file the scanner refused: where it was and why.
+
+    The multi-run scanner *never* raises for a bad input file — a runs
+    directory accumulated across releases and crashes will contain junk,
+    and one damaged journal must degrade to a reported skip, not kill
+    the whole report.
+    """
+
+    path: Path
+    name: str
+    reason: str
+
+
+@dataclass
+class MultiRunScan:
+    """Everything usable found under one or more runs directories."""
+
+    journals: list[RunDirScan] = field(default_factory=list)
+    outcomes: list[tuple[str, dict]] = field(default_factory=list)  # (name, doc)
+    benches: list[tuple[str, dict]] = field(default_factory=list)  # (name, doc)
+    skipped: list[SkippedInput] = field(default_factory=list)
+
+    @property
+    def empty(self) -> bool:
+        return not (self.journals or self.outcomes or self.benches)
+
+
+def _classify_json(doc: object) -> str | None:
+    """Which report input a parsed JSON document is, if any."""
+    if not isinstance(doc, dict):
+        return None
+    if isinstance(doc.get("outcomes"), list) and isinstance(doc.get("stats"), dict):
+        return "outcomes"
+    if isinstance(doc.get("results"), dict) and "benchmark" in doc:
+        return "bench"
+    return None
+
+
+def scan_run_dirs(paths: list[Path | str] | tuple) -> MultiRunScan:
+    """Read-only recursive scan of run directories for report inputs.
+
+    Recognized inputs:
+
+    * ``journal.jsonl`` files — scanned with :func:`scan_journal`.  A
+      torn final line is tolerated as usual (the crash signature); a
+      journal with mid-file damage or an unknown record version is
+      *skipped and reported*, never fatal — unlike ``--resume``, the
+      report only aggregates, so a distrusted journal costs one input,
+      not correctness.
+    * ``*.json`` files shaped like ``--outcomes-out`` documents
+      (``{"stats": ..., "outcomes": [...]}``).
+    * ``BENCH_*.json`` benchmark baselines (``{"benchmark": ...,
+      "results": {...}}``).
+
+    Anything else with a ``.json``/``.jsonl`` extension is recorded in
+    ``skipped`` with a reason; other files (gap tables, text reports,
+    cache entries) are ignored silently.  Results are deterministic: the
+    walk is sorted, and names are root-relative, so equal trees scan
+    equal regardless of location or argument order.
+    """
+    out = MultiRunScan()
+    seen: set[Path] = set()
+    for root in paths:
+        root = Path(root)
+        if not root.exists():
+            out.skipped.append(
+                SkippedInput(path=root, name=str(root), reason="does not exist")
+            )
+            continue
+        files = [root] if root.is_file() else sorted(
+            p for p in root.rglob("*") if p.is_file()
+        )
+        for path in files:
+            real = path.resolve()
+            if real in seen:
+                continue
+            seen.add(real)
+            # Names are root-relative but keep the root's basename as a
+            # prefix, so two roots that each hold a ``journal.jsonl``
+            # stay distinct (and equal trees still scan equal regardless
+            # of where they live or the argument order).
+            name = (
+                path.name
+                if root.is_file()
+                else f"{root.name}/{path.relative_to(root)}"
+            )
+            _scan_one_file(path, name, out)
+    out.journals.sort(key=lambda j: j.name)
+    out.outcomes.sort(key=lambda kv: kv[0])
+    out.benches.sort(key=lambda kv: kv[0])
+    out.skipped.sort(key=lambda s: s.name)
+    return out
+
+
+def _scan_one_file(path: Path, name: str, out: MultiRunScan) -> None:
+    if path.name == JOURNAL_NAME or path.suffix == ".jsonl":
+        try:
+            scan = scan_journal(path)
+        except JournalError as exc:
+            # Reasons must be location-independent (golden tests, equal
+            # trees scanning equal): report the root-relative name, not
+            # wherever the tree happens to live.
+            reason = str(exc).replace(str(path), name)
+            out.skipped.append(SkippedInput(path=path, name=name, reason=reason))
+            return
+        if not scan.records:
+            out.skipped.append(
+                SkippedInput(path=path, name=name, reason="no valid journal records")
+            )
+            return
+        out.journals.append(RunDirScan(path=path, name=name, scan=scan))
+        return
+    if path.suffix == ".json":
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            out.skipped.append(
+                SkippedInput(path=path, name=name, reason=f"unparseable JSON: {exc}")
+            )
+            return
+        kind = _classify_json(doc)
+        if kind == "outcomes":
+            out.outcomes.append((name, doc))
+        elif kind == "bench":
+            out.benches.append((name, doc))
+        else:
+            out.skipped.append(
+                SkippedInput(
+                    path=path,
+                    name=name,
+                    reason="unrecognized JSON document (not outcomes or BENCH)",
+                )
+            )
 
 
 class RunCheckpoint:

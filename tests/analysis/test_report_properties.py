@@ -1,0 +1,212 @@
+"""Property tests for the report pipeline's aggregation invariants.
+
+The report promises that its *aggregate* sections (randomized code-size
+reduction, inequality margins, oracle gaps) depend only on the **set of
+completed units of work** — never on how the journal records were
+distributed across files, what order they were written in, how many
+times a unit was replayed across resumes, or which shard a run
+directory landed in.  These tests generate a logical workload, journal
+it in many adversarial physical layouts, and require the report to come
+out identical every time.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.report import build_report, diff_reports, report_json
+from repro.runner.journal import RunJournal
+
+#: The aggregate sections that must be layout-invariant (accounting is
+#: per-journal by design, so it is excluded).
+AGGREGATE_SLUGS = ("code-size", "inequality", "oracle-gaps")
+
+
+# ----------------------------------------------------------------------
+# Logical workloads: a list of (key, label, payload, failed) units.
+# ----------------------------------------------------------------------
+
+
+def _unit(seed: int, kind: str, a: int, b: int, ok: bool):
+    graph = f"rand{seed}"
+    if kind == "orders":
+        label = f"{graph}/orders/f=2/n=3"
+        payload = {
+            "ok": True,
+            "period": 2,
+            "size_unfold_retime": max(a, b),
+            "size_retime_unfold": min(a, b),
+            "inequality_holds": True,
+            "compute_time": 0.0,
+        }
+    elif kind == "oracle":
+        label = f"{graph}/oracle/f=1/n=0"
+        payload = {
+            "ok": True,
+            "period_optimal": 2 + b % 3,
+            "optimum_lower": 2,
+            "proven": b % 3 == 0,
+            "gap": b % 3,
+            "bounds_ok": True,
+            "compute_time": 0.0,
+        }
+    else:  # a pipelined/csr pair member
+        label = f"{graph}/{kind}/f=1/n=3"
+        payload = {"ok": True, "code_size": 4 + a, "compute_time": 0.0}
+    if not ok:
+        payload = {
+            "ok": False,
+            "failed": True,
+            "status": "failed",
+            "error": "injected",
+            "error_type": "FaultInjected",
+        }
+    return (f"k:{label}", label, payload, not ok)
+
+
+units_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=4),
+        st.sampled_from(["pipelined", "csr-pipelined", "orders", "oracle"]),
+        st.integers(min_value=0, max_value=20),
+        st.integers(min_value=0, max_value=20),
+        st.booleans(),
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+def _materialize(raw) -> list[tuple]:
+    """Unique logical units (first draw wins per key — content address)."""
+    seen: dict[str, tuple] = {}
+    for seed, kind, a, b, ok in raw:
+        unit = _unit(seed, kind, a, b, ok)
+        seen.setdefault(unit[0], unit)
+    return list(seen.values())
+
+
+def _write_journal(run_dir: Path, units, pending=(), finish=True) -> None:
+    journal = RunJournal(run_dir, fsync=False)
+    journal.run_start("sweep", {"graphs": len(units)})
+    for key, label, payload, failed in units:
+        journal.job_submitted(key, label)
+        if failed:
+            journal.job_failed(key, label, payload, outcome={"status": "failed"})
+        else:
+            journal.job_done(key, label, payload, outcome={"status": "ok"})
+    for key, label in pending:
+        journal.job_submitted(key, label)
+    if finish:
+        journal.run_end("ok")
+    journal.close()
+
+
+def _aggregate_docs(runs_root: Path) -> dict:
+    doc = json.loads(report_json(build_report([runs_root])))
+    return {
+        s["slug"]: s for s in doc["sections"] if s["slug"] in AGGREGATE_SLUGS
+    }
+
+
+class TestLayoutInvariance:
+    @given(units=units_strategy, data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_sharding_and_order_invariant(self, units, data):
+        """Any split of the units across journal files, in any record
+        order, with any units replayed into extra shards, aggregates to
+        the same report sections."""
+        units = _materialize(units)
+        baseline_order = sorted(units)
+        with tempfile.TemporaryDirectory() as td:
+            base = Path(td)
+            _write_journal(base / "baseline" / "run", baseline_order)
+            reference = _aggregate_docs(base / "baseline")
+
+            shuffled = data.draw(st.permutations(units))
+            cut = data.draw(st.integers(min_value=0, max_value=len(shuffled)))
+            shards = [shuffled[:cut], shuffled[cut:]]
+            # Replay a random subset into a third shard: duplicated keys
+            # are the resume signature and must not double-count.
+            replayed = [u for u in units if data.draw(st.booleans())]
+            if replayed:
+                shards.append(replayed)
+            for i, shard in enumerate(shards):
+                if shard:
+                    _write_journal(base / "sharded" / f"shard{i}", shard)
+            assert _aggregate_docs(base / "sharded") == reference
+
+    @given(units=units_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_failed_and_pending_units_do_not_skew_aggregates(self, units):
+        """FAILED completions and pending (shed) submissions change the
+        accounting table, never the aggregate statistics."""
+        units = _materialize(units)
+        healthy = [u for u in units if not u[3]]
+        with tempfile.TemporaryDirectory() as td:
+            base = Path(td)
+            _write_journal(base / "healthy" / "run", sorted(healthy))
+            _write_journal(
+                base / "noisy" / "run",
+                sorted(units),
+                pending=[("k:ghost", "rand9/oracle/f=1/n=0")],
+                finish=False,
+            )
+            healthy_docs = _aggregate_docs(base / "healthy")
+            noisy_docs = _aggregate_docs(base / "noisy")
+            # Oracle FAILED rows are *shown* in the gap table (marker
+            # rows), so compare only the sections that aggregate stats
+            # over ok payloads when failures are present.  The empty-
+            # section explanatory note may legitimately differ (a tree
+            # whose every unit failed has no healthy counterpart jobs at
+            # all), so the invariant covers status + data, not prose.
+            for slug in ("code-size", "inequality"):
+                assert noisy_docs[slug]["status"] == healthy_docs[slug]["status"]
+                assert noisy_docs[slug]["data"] == healthy_docs[slug]["data"]
+
+    @given(units=units_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_self_diff_is_always_clean(self, units):
+        units = _materialize(units)
+        with tempfile.TemporaryDirectory() as td:
+            base = Path(td)
+            _write_journal(base / "runs" / "run", units)
+            doc = json.loads(report_json(build_report([base / "runs"])))
+            result = diff_reports(doc, doc)
+            assert result.clean, result.summary()
+            # Round-tripping through JSON must not change the verdict.
+            doc2 = json.loads(json.dumps(doc))
+            assert diff_reports(doc, doc2).clean
+
+
+class TestAccountingIdentity:
+    @given(units=units_strategy, pending_n=st.integers(min_value=0, max_value=3))
+    @settings(max_examples=25, deadline=None)
+    def test_conservation_law_holds_per_journal(self, units, pending_n):
+        """Every accounting row satisfies
+        ``completed + failed + shed == submitted`` whatever mix of done,
+        failed and shed units the journal records."""
+        units = _materialize(units)
+        pending = [
+            (f"k:pending{i}", f"rand{8 + i}/oracle/f=1/n=0")
+            for i in range(pending_n)
+        ]
+        with tempfile.TemporaryDirectory() as td:
+            base = Path(td)
+            _write_journal(
+                base / "run", units, pending=pending, finish=pending_n == 0
+            )
+            report = build_report([base])
+            acc = report.section("accounting")
+            assert acc.status == "ok"
+            assert acc.data["identity_ok"]
+            for row in acc.data["rows"]:
+                submitted, completed, failed, shed = row[2:6]
+                assert completed + failed + shed == submitted
+                assert shed == pending_n
+                assert failed == sum(1 for u in units if u[3])

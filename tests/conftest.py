@@ -20,6 +20,21 @@ from repro.workloads import (
 )
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden report files under tests/data/golden/ "
+        "from current output instead of comparing against them",
+    )
+
+
+@pytest.fixture
+def regen_golden(request) -> bool:
+    return request.config.getoption("--regen-golden")
+
+
 @pytest.fixture(autouse=True)
 def _no_leaked_fault_plan():
     """A test that activates a fault plan must not leak it into the next

@@ -1,0 +1,386 @@
+"""Regenerate the canned run-directory fixtures for the report tests.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python tests/data/runs/regen_fixtures.py
+
+Three fixture trees are written next to this script:
+
+``clean/``
+    A complete, healthy pair of runs: a ``tables`` journal whose
+    payloads are computed by the *real* table payload functions (so the
+    report's paper tables are rebuilt from genuine data), a handcrafted
+    ``sweep`` journal covering every aggregate section, an
+    ``--outcomes-out`` document and a ``BENCH_*.json`` baseline.
+
+``degraded/``
+    The same shapes after a bad day: FAILED/TIMED_OUT table rows, a
+    failed oracle job, a pending (shed) unit, a torn journal tail, a
+    journal with mid-file damage (must be skipped, not fatal), and junk
+    files the scanner has to step around.
+
+``regressed/``
+    ``clean`` with deliberate regressions — a changed Table-1 cell, a
+    worse oracle gap, failed jobs in the outcomes stats, a 3x op-counter
+    blowup — the ``--diff`` golden and the CI report-smoke gate compare
+    against this tree.
+
+Everything written is deterministic (``compute_time`` is pinned to 0.0
+in the handcrafted payloads), so regenerating produces identical bytes
+unless the underlying table code changed — exactly when the goldens
+*should* move.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+
+sys.path.insert(0, str(HERE.parents[2] / "src"))
+
+from repro.analysis.experiments import (  # noqa: E402
+    _orders_payload,
+    _table1_payload,
+    _table2_payload,
+)
+from repro.core.predicated import PER_COPY, PER_ITERATION  # noqa: E402
+from repro.graph.serialize import to_json  # noqa: E402
+from repro.runner.journal import RunJournal  # noqa: E402
+from repro.workloads import BENCHMARKS, get_workload  # noqa: E402
+
+
+def _graph_json(name: str) -> str:
+    return to_json(get_workload(name), indent=None)
+
+
+def _done(journal: RunJournal, key: str, label: str, payload: dict, **outcome) -> None:
+    journal.job_submitted(key, label)
+    journal.job_done(
+        key, label, payload, outcome={"status": "ok", **outcome}
+    )
+
+
+def _failed(journal: RunJournal, key: str, label: str, status: str, error: str) -> None:
+    journal.job_submitted(key, label)
+    journal.job_failed(
+        key,
+        label,
+        {
+            "ok": False,
+            "failed": True,
+            "status": status,
+            "error": error,
+            "error_type": "FaultInjected",
+        },
+        outcome={"status": status, "attempts": 3},
+    )
+
+
+# ----------------------------------------------------------------------
+# The tables run: real payloads, journaled exactly as the CLI would.
+# ----------------------------------------------------------------------
+
+
+def write_tables_journal(run_dir: Path, degraded: bool = False, doctor=None) -> None:
+    journal = RunJournal(run_dir, fsync=False)
+    journal.run_start("tables", {"tables": ["1", "2", "3", "4"]})
+    for name in BENCHMARKS:
+        label = f"table1:{name}"
+        if degraded and name == "volterra":
+            _failed(journal, f"k:{label}", label, "failed", "worker died (injected)")
+            continue
+        payload = _table1_payload({"graph": _graph_json(name)})
+        if doctor is not None:
+            payload = doctor(label, payload)
+        _done(journal, f"k:{label}", label, payload)
+    for name in BENCHMARKS:
+        label = f"table2:{name}"
+        if degraded and name == "elliptic":
+            _failed(journal, f"k:{label}", label, "timed_out", "deadline exceeded")
+            continue
+        payload = _table2_payload(
+            {"graph": _graph_json(name), "factor": 3, "trip_count": 101}
+        )
+        _done(journal, f"k:{label}", label, payload)
+    for graph, mode, periods in (
+        ("figure8", PER_ITERATION, [None, None, None]),
+        ("lattice", PER_COPY, [16, 24, 32]),
+    ):
+        for f, period in zip((2, 3, 4), periods):
+            label = f"orders:{graph}:f={f}"
+            payload = _orders_payload(
+                {
+                    "graph": _graph_json(graph),
+                    "factor": f,
+                    "period": period,
+                    "csr_mode": mode,
+                }
+            )
+            _done(journal, f"k:{label}", label, payload)
+    journal.run_end("degraded" if degraded else "ok")
+    journal.close()
+
+
+# ----------------------------------------------------------------------
+# The sweep run: handcrafted payloads with the real key sets.
+# ----------------------------------------------------------------------
+
+#: (graph seed, plain code size, CSR code size) per transform pair —
+#: chosen so the reduction stats are non-trivial (mixed signs).
+_SWEEP_SIZES = {
+    "rand0": {"pipelined": (12, 8), "retime-unfold": (20, 13), "unfold-retime": (22, 15)},
+    "rand1": {"pipelined": (9, 9), "retime-unfold": (16, 12), "unfold-retime": (18, 13)},
+    "rand2": {"pipelined": (15, 10), "retime-unfold": (26, 16), "unfold-retime": (26, 18)},
+    "rand3": {"pipelined": (11, 12), "retime-unfold": (18, 15), "unfold-retime": (20, 16)},
+}
+
+#: (S_fr, S_rf) per graph for the orders jobs — one tie, no violations.
+_ORDERS_SIZES = {"rand0": (22, 20), "rand1": (18, 18), "rand2": (26, 21), "rand3": (20, 19)}
+
+
+def _exec_payload(code_size: int, retimed: bool = True) -> dict:
+    payload = {
+        "effective_n": 3,
+        "code_size": code_size,
+        "equivalent": True,
+        "executed": 3,
+        "disabled": 1,
+        "ok": True,
+        "error": None,
+        "compute_time": 0.0,
+    }
+    if retimed:
+        payload.update({"period": 2, "registers": 2, "max_retiming": 1})
+    return payload
+
+
+def _oracle_payload_for(seed: int, gap: int = 0, proven: bool = True) -> dict:
+    period = 2 + seed % 2
+    return {
+        "period_optimal": period + gap,
+        "optimum_lower": period,
+        "proven": proven,
+        "probes": 3,
+        "periods": [period + gap, period + gap + 1],
+        "gap": gap,
+        "rotation_length": 2,
+        "rotation_gap": 0,
+        "modulo_ii": period,
+        "modulo_ii_optimal": period,
+        "modulo_gap": 0,
+        "optimal_code_size": 6 + seed,
+        "heuristic_code_size": 6 + seed + gap,
+        "min_max_retiming": 1,
+        "violations": [],
+        "bounds_ok": True,
+        "ok": True,
+        "error": None,
+        "compute_time": 0.0,
+    }
+
+
+def write_sweep_journal(run_dir: Path, degraded: bool = False, doctor=None) -> None:
+    journal = RunJournal(run_dir, fsync=False)
+    journal.run_start(
+        "sweep", {"graphs": len(_SWEEP_SIZES), "factors": [2], "seed": 0}
+    )
+    for graph in sorted(_SWEEP_SIZES):
+        seed = int(graph[4:])
+        for pair, (plain_size, csr_size) in sorted(_SWEEP_SIZES[graph].items()):
+            f = 1 if pair == "pipelined" else 2
+            for transform, size in ((pair, plain_size), (f"csr-{pair}", csr_size)):
+                label = f"{graph}/{transform}/f={f}/n=3"
+                _done(journal, f"k:{label}", label, _exec_payload(size))
+        s_fr, s_rf = _ORDERS_SIZES[graph]
+        label = f"{graph}/orders/f=2/n=3"
+        _done(
+            journal,
+            f"k:{label}",
+            label,
+            {
+                "period": 2,
+                "registers": 2,
+                "size_unfold_retime": s_fr,
+                "size_retime_unfold": s_rf,
+                "inequality_holds": s_fr >= s_rf,
+                "equivalent": True,
+                "executed": 3,
+                "disabled": 1,
+                "ok": True,
+                "error": None,
+                "compute_time": 0.0,
+            },
+        )
+        label = f"{graph}/oracle/f=1/n=0"
+        if degraded and graph == "rand1":
+            _failed(journal, f"k:{label}", label, "timed_out", "oracle deadline")
+            continue
+        payload = _oracle_payload_for(seed)
+        if doctor is not None:
+            payload = doctor(label, payload)
+        _done(journal, f"k:{label}", label, payload)
+    if degraded:
+        # One unit submitted but never completed: shed by the crash the
+        # torn tail below simulates; accounting must show shed == 1.
+        journal.job_submitted("k:rand9/oracle/f=1/n=0", "rand9/oracle/f=1/n=0")
+    else:
+        journal.run_end("ok")
+    journal.close()
+    if degraded:
+        # A torn final line — the crash signature scan_journal tolerates.
+        with open(run_dir / "journal.jsonl", "a") as fh:
+            fh.write('{"v": 1, "seq": 999, "ty')
+
+
+def write_outcomes(path: Path, regressed: bool = False) -> None:
+    failed = 2 if regressed else 0
+    calls = 33
+    doc = {
+        "stats": {
+            "calls": calls,
+            "computed": calls,
+            "completed": calls - failed,
+            "errors": 0,
+            "retried": 1,
+            "timed_out": 0,
+            "failed": failed,
+            "resumed": 0,
+            "respawned": 0,
+        },
+        "outcomes": [
+            {
+                "label": "rand0/orders/f=2/n=3",
+                "status": "ok",
+                "attempts": 2,
+                "faults": 1,
+                "error": None,
+                "resumed": False,
+                "respawned": False,
+                "oracle_gap": None,
+            },
+            {
+                "label": "rand0/oracle/f=1/n=0",
+                "status": "ok",
+                "attempts": 1,
+                "faults": 0,
+                "error": None,
+                "resumed": False,
+                "respawned": False,
+                "oracle_gap": 0,
+            },
+        ],
+    }
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+
+
+def write_bench(path: Path, regressed: bool = False) -> None:
+    blow = 3 if regressed else 1
+    doc = {
+        "benchmark": "iir",
+        "mode": "verify",
+        "sizes": [8, 16],
+        "trip_count": 64,
+        "results": {
+            "baseline": [
+                {
+                    "size": 8,
+                    "period": 2,
+                    "ref_s": 0.0021,
+                    "new_s": 0.0012,
+                    "speedup": 1.75,
+                    "counters": {"vm.instructions": 1200 * blow, "vm.loads": 300},
+                },
+                {
+                    "size": 16,
+                    "period": 2,
+                    "ref_s": 0.0044,
+                    "new_s": 0.0021,
+                    "speedup": 2.1,
+                    "counters": {"vm.instructions": 2500 * blow, "vm.loads": 640},
+                },
+            ]
+        },
+    }
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+
+
+# ----------------------------------------------------------------------
+# Trees
+# ----------------------------------------------------------------------
+
+
+def write_clean(root: Path) -> None:
+    write_tables_journal(root / "tables")
+    write_sweep_journal(root / "sweep")
+    write_outcomes(root / "sweep" / "outcomes.json")
+    write_bench(root / "BENCH_iir.json")
+
+
+def write_degraded(root: Path) -> None:
+    write_tables_journal(root / "tables", degraded=True)
+    write_sweep_journal(root / "sweep", degraded=True)
+    write_outcomes(root / "sweep" / "outcomes.json")
+    # Mid-file damage: flip payload bytes on a middle line without
+    # touching the checksum — scan_journal must refuse the whole file
+    # and the report must skip-and-report it.
+    corrupt = root / "corrupt"
+    write_sweep_journal(corrupt)
+    lines = (corrupt / "journal.jsonl").read_text().splitlines()
+    lines[2] = lines[2].replace('"ok":true', '"ok":folse', 1)
+    (corrupt / "journal.jsonl").write_text("\n".join(lines) + "\n")
+    (root / "junk.json").write_text('{"neither": "outcomes", "nor": "bench"}\n')
+    (root / "broken.json").write_text("{not json at all\n")
+    (root / "notes.txt").write_text("free-form text the scanner ignores\n")
+    (root / "empty").mkdir(parents=True, exist_ok=True)
+    (root / "empty" / ".gitkeep").write_text("")
+
+
+def write_regressed(root: Path) -> None:
+    def doctor_tables(label: str, payload: dict) -> dict:
+        if label == "table1:iir":
+            # The CR rewrite "lost" its savings: the changed cell (and
+            # the derived %Red column) must trip the --diff gate.
+            return {**payload, "csr": payload["csr"] + 8}
+        return payload
+
+    def doctor_sweep(label: str, payload: dict) -> dict:
+        if label == "rand2/oracle/f=1/n=0":
+            return {
+                **payload,
+                "gap": 2,
+                "proven": False,
+                "period_optimal": payload["optimum_lower"] + 2,
+                "heuristic_code_size": payload["heuristic_code_size"] + 2,
+            }
+        return payload
+
+    write_tables_journal(root / "tables", doctor=doctor_tables)
+    write_sweep_journal(root / "sweep", doctor=doctor_sweep)
+    write_outcomes(root / "sweep" / "outcomes.json", regressed=True)
+    write_bench(root / "BENCH_iir.json", regressed=True)
+
+
+def main() -> int:
+    for name, writer in (
+        ("clean", write_clean),
+        ("degraded", write_degraded),
+        ("regressed", write_regressed),
+    ):
+        root = HERE / name
+        if root.exists():
+            shutil.rmtree(root)
+        root.mkdir(parents=True)
+        writer(root)
+        files = sorted(p.relative_to(root) for p in root.rglob("*") if p.is_file())
+        print(f"{name}/: {len(files)} files")
+        for f in files:
+            print(f"  {f}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,192 @@
+"""The multi-run scanner on heterogeneous, hostile run directories.
+
+``scan_run_dirs`` is the report pipeline's only filesystem interface,
+so its contract is strict: *never raise* for bad inputs — mixed record
+versions, torn tails, mid-file damage, junk files, empty and missing
+directories all degrade to skip-and-report — and produce deterministic,
+location-independent results.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runner.journal import (
+    JOURNAL_VERSION,
+    MultiRunScan,
+    RunJournal,
+    scan_run_dirs,
+)
+
+
+def write_run(run_dir, command="sweep", units=2, finish=True):
+    journal = RunJournal(run_dir, fsync=False)
+    journal.run_start(command, {"units": units})
+    for i in range(units):
+        key, label = f"k{i}", f"rand{i}/pipelined/f=1/n=0"
+        journal.job_submitted(key, label)
+        journal.job_done(
+            key, label, {"ok": True, "code_size": 5 + i}, outcome={"status": "ok"}
+        )
+    if finish:
+        journal.run_end("ok")
+    journal.close()
+    return run_dir / "journal.jsonl"
+
+
+OUTCOMES_DOC = {"stats": {"calls": 1, "completed": 1, "failed": 0}, "outcomes": []}
+BENCH_DOC = {"benchmark": "iir", "results": {"baseline": []}}
+
+
+class TestHappyPath:
+    def test_full_tree(self, tmp_path):
+        write_run(tmp_path / "runs" / "a")
+        write_run(tmp_path / "runs" / "b", command="tables")
+        (tmp_path / "runs" / "outcomes.json").write_text(json.dumps(OUTCOMES_DOC))
+        (tmp_path / "runs" / "BENCH_iir.json").write_text(json.dumps(BENCH_DOC))
+        scan = scan_run_dirs([tmp_path / "runs"])
+        assert [j.name for j in scan.journals] == [
+            "runs/a/journal.jsonl",
+            "runs/b/journal.jsonl",
+        ]
+        assert [j.command for j in scan.journals] == ["sweep", "tables"]
+        assert [n for n, _ in scan.outcomes] == ["runs/outcomes.json"]
+        assert [n for n, _ in scan.benches] == ["runs/BENCH_iir.json"]
+        assert scan.skipped == []
+        assert not scan.empty
+
+    def test_file_roots_and_dedup(self, tmp_path):
+        path = write_run(tmp_path / "a")
+        # The same journal via its file and its directory: one entry.
+        scan = scan_run_dirs([path, tmp_path / "a"])
+        assert len(scan.journals) == 1
+        # Same directory twice: still one entry.
+        scan = scan_run_dirs([tmp_path / "a", tmp_path / "a"])
+        assert len(scan.journals) == 1
+
+    def test_two_roots_with_same_layout_do_not_collide(self, tmp_path):
+        write_run(tmp_path / "runA")
+        write_run(tmp_path / "runB", units=3)
+        scan = scan_run_dirs([tmp_path / "runA", tmp_path / "runB"])
+        assert [j.name for j in scan.journals] == [
+            "runA/journal.jsonl",
+            "runB/journal.jsonl",
+        ]
+
+    def test_argument_order_is_irrelevant(self, tmp_path):
+        write_run(tmp_path / "a")
+        write_run(tmp_path / "b", command="tables")
+        forward = scan_run_dirs([tmp_path / "a", tmp_path / "b"])
+        backward = scan_run_dirs([tmp_path / "b", tmp_path / "a"])
+        assert [j.name for j in forward.journals] == [
+            j.name for j in backward.journals
+        ]
+        assert forward.skipped == backward.skipped
+
+    def test_config_exposed(self, tmp_path):
+        write_run(tmp_path / "a", units=4)
+        scan = scan_run_dirs([tmp_path / "a"])
+        assert scan.journals[0].config == {"units": 4}
+
+
+class TestDegradedInputs:
+    def test_missing_root_is_skipped(self, tmp_path):
+        scan = scan_run_dirs([tmp_path / "nope"])
+        assert scan.empty
+        assert scan.skipped[0].reason == "does not exist"
+
+    def test_empty_directory(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        scan = scan_run_dirs([tmp_path / "empty"])
+        assert scan.empty and scan.skipped == []
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        path = write_run(tmp_path / "a", finish=False)
+        with open(path, "a") as fh:
+            fh.write('{"v": 1, "seq": 99, "ty')  # the crash signature
+        scan = scan_run_dirs([tmp_path / "a"])
+        assert len(scan.journals) == 1
+        assert scan.journals[0].scan.torn
+        assert scan.skipped == []
+
+    def test_midfile_damage_is_skipped_not_fatal(self, tmp_path):
+        path = write_run(tmp_path / "a")
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:-10] + lines[1][-10:].swapcase()
+        path.write_text("\n".join(lines) + "\n")
+        scan = scan_run_dirs([tmp_path / "a"])
+        assert scan.journals == []
+        assert len(scan.skipped) == 1
+        assert "a/journal.jsonl" in scan.skipped[0].name
+
+    def test_unknown_record_version_is_skipped(self, tmp_path):
+        path = write_run(tmp_path / "a")
+        bumped = path.read_text().replace(
+            f'"v": {JOURNAL_VERSION}', f'"v": {JOURNAL_VERSION + 1}'
+        ).replace(f'"v":{JOURNAL_VERSION}', f'"v":{JOURNAL_VERSION + 1}')
+        path.write_text(bumped)
+        scan = scan_run_dirs([tmp_path / "a"])
+        assert scan.journals == []
+        assert len(scan.skipped) == 1
+        assert "version" in scan.skipped[0].reason
+
+    def test_empty_journal_file_is_skipped(self, tmp_path):
+        (tmp_path / "a").mkdir()
+        (tmp_path / "a" / "journal.jsonl").write_text("")
+        scan = scan_run_dirs([tmp_path / "a"])
+        assert scan.journals == []
+        assert scan.skipped[0].reason == "no valid journal records"
+
+    @pytest.mark.parametrize(
+        "name,content,expect_reason",
+        [
+            ("broken.json", "{nope", "unparseable JSON"),
+            ("other.json", '{"neither": 1}', "unrecognized JSON document"),
+            ("list.json", "[1, 2, 3]", "unrecognized JSON document"),
+        ],
+    )
+    def test_junk_json_is_skipped_with_reason(
+        self, tmp_path, name, content, expect_reason
+    ):
+        (tmp_path / "a").mkdir()
+        (tmp_path / "a" / name).write_text(content)
+        scan = scan_run_dirs([tmp_path / "a"])
+        assert len(scan.skipped) == 1
+        assert expect_reason in scan.skipped[0].reason
+
+    def test_non_json_files_are_ignored_silently(self, tmp_path):
+        (tmp_path / "a").mkdir()
+        (tmp_path / "a" / "notes.txt").write_text("text")
+        (tmp_path / "a" / "gap_table.tsv").write_text("1\t2")
+        (tmp_path / "a" / ".gitkeep").write_text("")
+        scan = scan_run_dirs([tmp_path / "a"])
+        assert scan.empty and scan.skipped == []
+
+    def test_one_bad_journal_costs_one_input(self, tmp_path):
+        """The report contract: a damaged journal never poisons its
+        healthy siblings."""
+        write_run(tmp_path / "runs" / "good")
+        bad = write_run(tmp_path / "runs" / "bad")
+        bad.write_text("complete garbage\nacross two lines\nand a third\n")
+        scan = scan_run_dirs([tmp_path / "runs"])
+        assert [j.name for j in scan.journals] == ["runs/good/journal.jsonl"]
+        assert [s.name for s in scan.skipped] == ["runs/bad/journal.jsonl"]
+
+    def test_heterogeneous_tree_partitions_cleanly(self, tmp_path):
+        root = tmp_path / "runs"
+        write_run(root / "a")
+        write_run(root / "b", finish=False)
+        (root / "outcomes.json").write_text(json.dumps(OUTCOMES_DOC))
+        (root / "BENCH_x.json").write_text(json.dumps(BENCH_DOC))
+        (root / "junk.json").write_text("{oops")
+        (root / "README.md").write_text("# runs")
+        scan = scan_run_dirs([root])
+        assert isinstance(scan, MultiRunScan)
+        assert len(scan.journals) == 2
+        assert len(scan.outcomes) == 1
+        assert len(scan.benches) == 1
+        assert len(scan.skipped) == 1
+        # Unfinished runs are still aggregated (resume may be coming).
+        assert [j.scan.finished for j in scan.journals] == [True, False]
