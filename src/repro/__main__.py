@@ -33,6 +33,7 @@ from .analysis.__main__ import (
 )
 from .ioutil import atomic_write_text
 from .runner.journal import JournalError
+from .server.worker import add_worker_arguments
 from .codegen import emit_c, format_program, original_loop
 from .core import (
     assert_equivalent,
@@ -179,48 +180,55 @@ def _cmd_sweep(args) -> int:
     """
     from .runner.difftest import differential_sweep
 
+    from .analysis.__main__ import check_topology, topology_from_args
+
     engine = engine_from_args(args)
-    checkpoint = checkpoint_from_args(args)
-    config = {
-        "graphs": args.graphs,
-        "seed": args.seed,
-        "factors": list(args.factors),
-        "max_nodes": args.max_nodes,
-        "oracle": args.oracle,
-        "oracle_timeout": args.oracle_timeout,
-    }
-    if checkpoint is not None:
-        if checkpoint.resume:
-            # `.get()` defaults keep journals from pre-oracle runs
-            # resumable.
-            config = checkpoint.restore_config("sweep")
-        checkpoint.attach(engine, "sweep", config)
-    report = differential_sweep(
-        num_graphs=config["graphs"],
-        seed=config["seed"],
-        factors=tuple(config["factors"]),
-        max_nodes=config["max_nodes"],
-        engine=engine,
-        oracle=config.get("oracle", False),
-        oracle_timeout=config.get("oracle_timeout"),
-    )
-    print(report.summary())
-    if report.oracle_records:
-        print()
-        print("=== Oracle optimality gaps ===")
-        print(report.gap_table())
-    if args.gap_table_out:
-        atomic_write_text(args.gap_table_out, report.gap_table() + "\n")
-        print(f"wrote gap table: {args.gap_table_out}", file=sys.stderr)
-    if args.stats:
-        print("=== Engine stats ===")
-        print(engine.stats_summary())
-    export_observability(args, engine)
-    degraded = report_resilience(args, engine)
-    ok = report.ok and not degraded
-    if checkpoint is not None:
-        checkpoint.finish(engine, "ok" if ok else "degraded")
-    return 0 if ok else 1
+    try:
+        checkpoint = checkpoint_from_args(args)
+        config = {
+            "graphs": args.graphs,
+            "seed": args.seed,
+            "factors": list(args.factors),
+            "max_nodes": args.max_nodes,
+            "oracle": args.oracle,
+            "oracle_timeout": args.oracle_timeout,
+            "topology": topology_from_args(args),
+        }
+        if checkpoint is not None:
+            if checkpoint.resume:
+                # `.get()` defaults keep journals from pre-oracle runs
+                # resumable.
+                config = checkpoint.restore_config("sweep")
+                check_topology(config, args)
+            checkpoint.attach(engine, "sweep", config)
+        report = differential_sweep(
+            num_graphs=config["graphs"],
+            seed=config["seed"],
+            factors=tuple(config["factors"]),
+            max_nodes=config["max_nodes"],
+            engine=engine,
+            oracle=config.get("oracle", False),
+            oracle_timeout=config.get("oracle_timeout"),
+        )
+        print(report.summary())
+        if report.oracle_records:
+            print()
+            print("=== Oracle optimality gaps ===")
+            print(report.gap_table())
+        if args.gap_table_out:
+            atomic_write_text(args.gap_table_out, report.gap_table() + "\n")
+            print(f"wrote gap table: {args.gap_table_out}", file=sys.stderr)
+        if args.stats:
+            print("=== Engine stats ===")
+            print(engine.stats_summary())
+        export_observability(args, engine)
+        degraded = report_resilience(args, engine)
+        ok = report.ok and not degraded
+        if checkpoint is not None:
+            checkpoint.finish(engine, "ok" if ok else "degraded")
+        return 0 if ok else 1
+    finally:
+        engine.close()
 
 
 def _cmd_serve(args) -> int:
@@ -239,8 +247,18 @@ def _cmd_serve(args) -> int:
             cache_dir=args.cache_dir,
             no_cache=args.no_cache,
             fault_plan=args.fault_plan,
+            distributed=args.distributed,
+            remote_workers=args.remote_workers,
+            lease_timeout=args.lease_timeout,
         )
     )
+
+
+def _cmd_worker(args) -> int:
+    """Join a coordinator's work plane as a remote worker."""
+    from .server.worker import worker_main
+
+    return worker_main(args)
 
 
 def _cmd_profile(args) -> int:
@@ -429,7 +447,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-plan", default=None, metavar="FILE",
         help="activate a JSON fault-injection plan (testing)",
     )
+    p.add_argument(
+        "--distributed", action="store_true",
+        help="run engine units through a leased work plane instead of a "
+        "local pool (see docs/SERVER.md)",
+    )
+    p.add_argument(
+        "--remote-workers", type=int, default=0, metavar="N",
+        help="spawn N worker processes on the work plane "
+        "(0 = external `repro worker` processes only)",
+    )
+    p.add_argument(
+        "--lease-timeout", type=float, default=30.0, metavar="SEC",
+        help="work-plane lease expiry; a silent worker's unit requeues "
+        "after this long",
+    )
     p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "worker",
+        help="remote worker: lease, execute and complete work units from "
+        "a coordinator's work plane (see docs/SERVER.md)",
+    )
+    add_worker_arguments(p)
+    p.set_defaults(fn=_cmd_worker)
 
     p = sub.add_parser(
         "sweep", help="randomized differential-testing sweep (all orders)"

@@ -154,6 +154,103 @@ def add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         help="heartbeat silence before a supervised worker is declared "
         "hung and replaced (default 30)",
     )
+    dgroup = parser.add_argument_group("distributed execution")
+    dgroup.add_argument(
+        "--workers",
+        choices=("local", "remote"),
+        default="local",
+        help="execution fabric: 'local' pools in this process, 'remote' "
+        "leases units to worker processes over a work plane "
+        "(see docs/SERVER.md)",
+    )
+    dgroup.add_argument(
+        "--coordinator",
+        default=None,
+        metavar="HOST:PORT",
+        help="with --workers remote: offload units to an existing "
+        "`repro serve` daemon instead of spawning a work plane",
+    )
+    dgroup.add_argument(
+        "--remote-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --workers remote: worker processes to spawn on the "
+        "work plane (default 2)",
+    )
+    dgroup.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=None,
+        metavar="SEC",
+        help="with --workers remote: lease expiry before a silent "
+        "worker's unit requeues (default 30)",
+    )
+
+
+def validate_engine_args(args: argparse.Namespace) -> None:
+    """Reject incompatible flag combinations up front, one clear line each.
+
+    Catching these before any engine (or work plane) spins up keeps the
+    failure a single ``error:`` line instead of a mid-run surprise.
+    """
+    workers = getattr(args, "workers", "local")
+    if workers == "remote" and getattr(args, "supervised", False):
+        raise SystemExit(
+            "error: --supervised and --workers remote are mutually "
+            "exclusive (pick one execution fabric)"
+        )
+    if workers != "remote":
+        for value, flag in (
+            (getattr(args, "coordinator", None), "--coordinator"),
+            (getattr(args, "remote_workers", None), "--remote-workers"),
+            (getattr(args, "lease_timeout", None), "--lease-timeout"),
+        ):
+            if value is not None:
+                raise SystemExit(f"error: {flag} requires --workers remote")
+    elif getattr(args, "coordinator", None) and (
+        getattr(args, "remote_workers", None) is not None
+    ):
+        raise SystemExit(
+            "error: --coordinator and --remote-workers are mutually "
+            "exclusive (an existing daemon brings its own workers)"
+        )
+
+
+def topology_from_args(args: argparse.Namespace) -> dict:
+    """The execution-topology fingerprint a journal records (satellite of
+    ``--resume`` safety: resuming under a different fabric would replay
+    the journal against different failure semantics)."""
+    return {
+        "workers": getattr(args, "workers", "local") or "local",
+        "supervised": bool(getattr(args, "supervised", False)),
+    }
+
+
+def _format_topology(topology: dict) -> str:
+    workers = topology.get("workers", "local")
+    supervised = "yes" if topology.get("supervised") else "no"
+    return f"workers={workers} supervised={supervised}"
+
+
+def check_topology(config: dict, args: argparse.Namespace) -> None:
+    """Refuse ``--resume`` under a different topology than was journaled.
+
+    Journals from before topology recording carry no fingerprint and
+    stay resumable as before.  Raises :class:`JournalError`, which the
+    CLIs turn into a one-line ``error:`` + exit 2.
+    """
+    recorded = config.get("topology")
+    if recorded is None:
+        return
+    current = topology_from_args(args)
+    if recorded != current:
+        raise JournalError(
+            "--resume topology mismatch: the journal recorded "
+            f"{_format_topology(recorded)} but this command says "
+            f"{_format_topology(current)} (rerun with the recorded "
+            "topology)"
+        )
 
 
 def engine_from_args(args: argparse.Namespace) -> ExperimentEngine:
@@ -164,7 +261,12 @@ def engine_from_args(args: argparse.Namespace) -> ExperimentEngine:
     ``--fault-plan`` (or ``$REPRO_FAULT_PLAN``) activates the
     fault-injection plan process-wide, so the engine forwards it to its
     pool workers; without one every resilience hook stays a no-op.
+    ``--workers remote`` swaps the local pool for a distributed executor:
+    a spawned work plane (:class:`~repro.runner.remote.RemoteFabric`) or,
+    with ``--coordinator``, offload to an existing serve daemon
+    (:class:`~repro.server.client.RemoteOffloadExecutor`).
     """
+    validate_engine_args(args)
     if getattr(args, "trace", None) or getattr(args, "metrics_out", None):
         observability.enable()
     spec = getattr(args, "fault_plan", None) or os.environ.get(
@@ -180,6 +282,22 @@ def engine_from_args(args: argparse.Namespace) -> ExperimentEngine:
             max_attempts=retries if retries is not None else retry.max_attempts,
             timeout=timeout,
         )
+    remote = None
+    if getattr(args, "workers", "local") == "remote":
+        if getattr(args, "coordinator", None):
+            from ..server.client import RemoteOffloadExecutor
+
+            remote = RemoteOffloadExecutor(args.coordinator)
+        else:
+            from ..runner.remote import RemoteFabric
+
+            workers = getattr(args, "remote_workers", None)
+            lease_timeout = getattr(args, "lease_timeout", None)
+            remote = RemoteFabric(
+                workers=2 if workers is None else workers,
+                policy=retry,
+                lease_timeout=30.0 if lease_timeout is None else lease_timeout,
+            )
     return default_engine(
         jobs=args.jobs,
         cache=not args.no_cache,
@@ -187,6 +305,7 @@ def engine_from_args(args: argparse.Namespace) -> ExperimentEngine:
         retry=retry,
         supervised=getattr(args, "supervised", False),
         heartbeat_timeout=getattr(args, "worker_heartbeat_timeout", 30.0),
+        remote=remote,
     )
 
 
@@ -290,21 +409,30 @@ def tables_main(args: argparse.Namespace) -> int:
     completed rows from the journal, and recomputes only the rest.
     """
     engine = engine_from_args(args)
-    checkpoint = checkpoint_from_args(args)
-    wanted = set(args.tables) or {"1", "2", "3", "4"}
-    if checkpoint is not None:
-        if checkpoint.resume:
-            wanted = set(checkpoint.restore_config("tables")["tables"])
-        checkpoint.attach(engine, "tables", {"tables": sorted(wanted)})
-    print_tables(wanted, engine)
-    if args.stats:
-        print("=== Engine stats ===")
-        print(engine.stats_summary())
-    export_observability(args, engine)
-    degraded = report_resilience(args, engine)
-    if checkpoint is not None:
-        checkpoint.finish(engine, "degraded" if degraded else "ok")
-    return 1 if degraded else 0
+    try:
+        checkpoint = checkpoint_from_args(args)
+        wanted = set(args.tables) or {"1", "2", "3", "4"}
+        config = {
+            "tables": sorted(wanted),
+            "topology": topology_from_args(args),
+        }
+        if checkpoint is not None:
+            if checkpoint.resume:
+                config = checkpoint.restore_config("tables")
+                check_topology(config, args)
+                wanted = set(config["tables"])
+            checkpoint.attach(engine, "tables", config)
+        print_tables(wanted, engine)
+        if args.stats:
+            print("=== Engine stats ===")
+            print(engine.stats_summary())
+        export_observability(args, engine)
+        degraded = report_resilience(args, engine)
+        if checkpoint is not None:
+            checkpoint.finish(engine, "degraded" if degraded else "ok")
+        return 1 if degraded else 0
+    finally:
+        engine.close()
 
 
 def main(argv: list[str]) -> int:

@@ -41,7 +41,8 @@ from .journal import (
     RunJournal,
     scan_journal,
 )
-from .supervisor import SupervisedPool
+from .remote import LeaseCoordinator, RemoteFabric, run_task_local
+from .supervisor import SupervisedPool, sweep_orphan_heartbeats
 from .resilience import (
     FAULT_PLAN_ENV,
     FAULT_SITES,
@@ -72,8 +73,12 @@ __all__ = [
     "JournalScan",
     "RunCheckpoint",
     "RunJournal",
+    "LeaseCoordinator",
+    "RemoteFabric",
     "SupervisedPool",
+    "run_task_local",
     "scan_journal",
+    "sweep_orphan_heartbeats",
     "CacheStats",
     "NullCache",
     "ResultCache",

@@ -206,6 +206,15 @@ class ExperimentEngine:
     heartbeat_timeout:
         Seconds of heartbeat silence before a busy supervised worker is
         declared hung (the ``--worker-heartbeat-timeout`` flag).
+    remote:
+        A distributed executor — a
+        :class:`~repro.runner.remote.RemoteFabric` (lease units to
+        worker processes over the work plane) or a
+        :class:`~repro.server.client.RemoteOffloadExecutor` (ship units
+        to a ``repro serve`` coordinator) — honoring the
+        ``run(tasks, on_result)`` submission-order contract.  Mutually
+        exclusive with ``supervised``.  Call :meth:`close` when done:
+        the executor persists across batches.
 
     Checkpointing: assigning a
     :class:`~repro.runner.journal.RunJournal` to ``engine.journal``
@@ -222,9 +231,12 @@ class ExperimentEngine:
         retry: RetryPolicy | None = None,
         supervised: bool = False,
         heartbeat_timeout: float = 30.0,
+        remote=None,
     ) -> None:
         if jobs is None or jobs <= 0:
             jobs = os.cpu_count() or 1
+        if supervised and remote is not None:
+            raise ValueError("supervised and remote execution are mutually exclusive")
         self.jobs = jobs
         if cache is None:
             self.cache: ResultCache | NullCache = NullCache()
@@ -235,6 +247,7 @@ class ExperimentEngine:
         self.retry = retry if retry is not None else RetryPolicy()
         self.supervised = supervised
         self.heartbeat_timeout = heartbeat_timeout
+        self.remote = remote
         self.stats = EngineStats()
         self.journal = None  # a RunJournal when checkpointing is on
         self.resume_state: dict[str, dict] = {}  # key -> job.done/failed data
@@ -327,7 +340,9 @@ class ExperimentEngine:
                     [keys[i] for i in pending],
                     [labels[i] for i in pending],
                 )
-                pool_wanted = self.jobs > 1 or self.supervised
+                pool_wanted = (
+                    self.jobs > 1 or self.supervised or self.remote is not None
+                )
                 if pool_wanted and len(pending) > 1:
                     ran = self._map_parallel(fn, *sub)
                 else:
@@ -406,7 +421,16 @@ class ExperimentEngine:
                 envelope.get("outcome"),
             )
 
-        if self.supervised:
+        if self.remote is not None:
+            # Distributed execution: the fabric/offload executor honors
+            # the same submission-order + per-completion-callback
+            # contract; journal appends stay on this thread.
+            self.remote.journal = self.journal
+            envelopes = self.remote.run(
+                tasks,
+                on_result=journal_result if self.journal is not None else None,
+            )
+        elif self.supervised:
             from .supervisor import SupervisedPool
 
             spool = SupervisedPool(
@@ -545,6 +569,8 @@ class ExperimentEngine:
             f"vm          : {s.vm_executed} computes executed, "
             f"{s.vm_disabled} disabled",
         ]
+        if self.remote is not None:
+            lines.append(f"remote      : {self.remote.stats_line()}")
         if s.job_times:
             slowest = max(s.job_times, key=lambda kv: kv[1])
             lines.append(f"slowest     : {slowest[0]} ({slowest[1]:.3f}s)")
@@ -605,6 +631,13 @@ class ExperimentEngine:
         m.gauge("workers.respawned", "supervised workers replaced").set(
             s.respawned
         )
+        if self.remote is not None:
+            self.remote.publish_metrics()
+
+    def close(self) -> None:
+        """Release persistent executor resources (the remote fabric)."""
+        if self.remote is not None:
+            self.remote.close()
 
 
 def default_engine(
@@ -614,6 +647,7 @@ def default_engine(
     retry: RetryPolicy | None = None,
     supervised: bool = False,
     heartbeat_timeout: float = 30.0,
+    remote=None,
 ) -> ExperimentEngine:
     """Engine with the conventional CLI defaults (on-disk cache enabled)."""
     if not cache:
@@ -623,6 +657,7 @@ def default_engine(
             retry=retry,
             supervised=supervised,
             heartbeat_timeout=heartbeat_timeout,
+            remote=remote,
         )
     return ExperimentEngine(
         jobs=jobs,
@@ -630,4 +665,5 @@ def default_engine(
         retry=retry,
         supervised=supervised,
         heartbeat_timeout=heartbeat_timeout,
+        remote=remote,
     )

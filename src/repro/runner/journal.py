@@ -2,7 +2,8 @@
 
 A journaled run appends one checksummed JSONL record per event to
 ``<run-dir>/journal.jsonl`` — ``run.start``, ``job.submitted``,
-``job.done``, ``job.failed``, ``run.end`` — each written as a single
+``job.leased``, ``job.lease_expired``, ``job.done``, ``job.failed``,
+``run.end`` — each written as a single
 ``write()`` call, flushed and fsync'd before the run proceeds.  A
 ``kill -9`` (or power loss) at any instant therefore leaves a journal
 whose every record but possibly the last is intact, and the recovery
@@ -64,9 +65,15 @@ JOURNAL_NAME = "journal.jsonl"
 JOURNAL_VERSION = 1
 
 #: The record types a journal may contain, in lifecycle order.
+#: ``job.leased``/``job.lease_expired`` are distributed-fabric provenance
+#: (which worker held a unit, and when a lease died and the unit was
+#: requeued); they never affect resume — completion is still decided
+#: solely by ``job.done``/``job.failed``.
 RECORD_TYPES: tuple[str, ...] = (
     "run.start",
     "job.submitted",
+    "job.leased",
+    "job.lease_expired",
     "job.done",
     "job.failed",
     "run.end",
@@ -201,6 +208,39 @@ class RunJournal:
 
     def job_submitted(self, key: str, label: str) -> None:
         self.append("job.submitted", {"key": key, "label": label})
+
+    def job_leased(self, key: str, label: str, worker: str, epoch: int) -> None:
+        """A distributed worker took a lease on this unit (``epoch`` is the
+        lease generation — completions carrying an older epoch are zombie
+        duplicates and were discarded by the coordinator)."""
+        self.append(
+            "job.leased",
+            {"key": key, "label": label, "worker": worker, "epoch": epoch},
+        )
+
+    def job_lease_expired(
+        self,
+        key: str,
+        label: str,
+        worker: str,
+        epoch: int,
+        age: float,
+        requeued: bool,
+    ) -> None:
+        """A lease died unrenewed (dead host, partition, hang) after ``age``
+        seconds.  ``requeued`` reports whether the unit went back on the
+        backlog or exhausted its dispatch budget and failed."""
+        self.append(
+            "job.lease_expired",
+            {
+                "key": key,
+                "label": label,
+                "worker": worker,
+                "epoch": epoch,
+                "age": round(age, 6),
+                "requeued": requeued,
+            },
+        )
 
     def job_done(
         self,

@@ -87,7 +87,26 @@ FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
 #:                     must degrade to a structured error response;
 #: ``server.respond``— raises while the server is delivering a computed
 #:                     response, which must likewise produce a
-#:                     structured error — never a hung connection.
+#:                     structured error — never a hung connection;
+#: ``remote.connect``  — raises before a resilient client opens a
+#:                     connection to the coordinator (host unreachable,
+#:                     refused connection), exercising retry/backoff and
+#:                     the circuit breaker;
+#: ``remote.send``     — raises before a request body is written (the
+#:                     connection died mid-dial), always safe to retry;
+#: ``remote.recv``     — raises after the server processed the request
+#:                     but before the client read the response — the
+#:                     dangerous half of a network fault, survivable only
+#:                     because requests are idempotent (single-flight
+#:                     dedup, lease epochs) so the retry is a join;
+#: ``remote.lease_renew`` — fails a worker's heartbeat lease renewal,
+#:                     so the coordinator expires the lease and requeues
+#:                     while the worker keeps computing (a zombie whose
+#:                     late completion must be discarded by epoch);
+#: ``worker.partition``— a remote worker drops off the network right
+#:                     after leasing a unit: heartbeats stop, the lease
+#:                     expires and requeues, and the partitioned worker's
+#:                     eventual completion arrives with a stale epoch.
 FAULT_SITES: tuple[str, ...] = (
     "job.start",
     "job.timeout",
@@ -97,6 +116,11 @@ FAULT_SITES: tuple[str, ...] = (
     "worker.kill",
     "server.accept",
     "server.respond",
+    "remote.connect",
+    "remote.send",
+    "remote.recv",
+    "remote.lease_renew",
+    "worker.partition",
 )
 
 

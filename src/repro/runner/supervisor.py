@@ -43,9 +43,54 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from . import resilience
+from ..observability import count
 from .resilience import JobOutcome, RetryPolicy, failure_payload
 
-__all__ = ["SupervisedPool", "WorkerCrash"]
+__all__ = ["SupervisedPool", "WorkerCrash", "sweep_orphan_heartbeats"]
+
+#: Heartbeat directories are ``<tmp>/repro-supervisor-pid<PID>-<random>``:
+#: the owning monitor's pid is embedded in the name so a later pool can
+#: tell an orphan (owner dead — the monitor itself was SIGKILLed before
+#: its ``rmtree`` ran) from a live sibling pool's directory.
+_HEARTBEAT_PREFIX = "repro-supervisor-"
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether a process with this pid exists (signal-0 probe)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True  # exists but not ours (EPERM) — definitely alive
+    return True
+
+
+def sweep_orphan_heartbeats(root: Path | str | None = None) -> int:
+    """Remove heartbeat dirs whose owning monitor process is gone.
+
+    A SIGKILLed monitor never reaches the ``rmtree`` in its ``finally``
+    block, leaking ``hb-*`` files in the temp dir forever.  Each pool
+    run sweeps on start: any ``repro-supervisor-pid<PID>-*`` directory
+    whose pid no longer exists is an orphan and is deleted.  Directories
+    without a parseable pid (foreign or pre-pid-format) are left alone.
+    Returns the number of directories removed.
+    """
+    root = Path(root if root is not None else tempfile.gettempdir())
+    removed = 0
+    for path in root.glob(_HEARTBEAT_PREFIX + "pid*"):
+        if not path.is_dir():
+            continue
+        pid_text = path.name[len(_HEARTBEAT_PREFIX) + 3 :].split("-", 1)[0]
+        if not pid_text.isdigit():
+            continue
+        if _pid_alive(int(pid_text)):
+            continue
+        shutil.rmtree(path, ignore_errors=True)
+        removed += 1
+    if removed:
+        count("supervisor.orphans_swept", removed)
+    return removed
 
 
 class WorkerCrash(Exception):
@@ -220,7 +265,10 @@ class SupervisedPool:
             (idx, task, 0) for idx, task in reversed(list(enumerate(tasks)))
         ]
         self._fault_history = {}  # idx -> worker-loss fault strings
-        hb_dir = Path(tempfile.mkdtemp(prefix="repro-supervisor-"))
+        sweep_orphan_heartbeats()
+        hb_dir = Path(
+            tempfile.mkdtemp(prefix=f"{_HEARTBEAT_PREFIX}pid{os.getpid()}-")
+        )
         result_q = self._ctx.SimpleQueue()
         fleet: list[_Worker] = []
         remaining = len(tasks)

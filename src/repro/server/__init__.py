@@ -20,6 +20,13 @@ Layers:
 """
 
 from .app import ServerConfig, serve_main
+from .client import (
+    CircuitOpenError,
+    ClientPolicy,
+    RemoteOffloadExecutor,
+    RemoteUnavailableError,
+    ResilientClient,
+)
 from .http import HttpFrontend
 from .protocol import (
     ProtocolError,
@@ -37,9 +44,16 @@ from .service import (
     ServiceClosedError,
 )
 
+from .worker import worker_main
+
 __all__ = [
+    "CircuitOpenError",
+    "ClientPolicy",
     "HttpFrontend",
     "OverloadedError",
+    "RemoteOffloadExecutor",
+    "RemoteUnavailableError",
+    "ResilientClient",
     "ProtocolError",
     "REQUEST_KINDS",
     "Request",
@@ -52,4 +66,5 @@ __all__ = [
     "parse_request",
     "response_envelope",
     "serve_main",
+    "worker_main",
 ]

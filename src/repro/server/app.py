@@ -42,6 +42,9 @@ class ServerConfig:
     cache_dir: str | None = None  # None = default cache location
     no_cache: bool = False
     fault_plan: str | None = None  # JSON FaultPlan file (testing)
+    distributed: bool = False  # run engine units through a work plane
+    remote_workers: int = 0  # worker processes spawned on the work plane
+    lease_timeout: float = 30.0  # work-plane lease expiry
 
     def build_engine(self) -> ExperimentEngine:
         if self.no_cache:
@@ -50,7 +53,15 @@ class ServerConfig:
             cache = ResultCache(self.cache_dir, shards=self.shards)
         else:
             cache = ResultCache(shards=self.shards)
-        return ExperimentEngine(jobs=self.workers, cache=cache)
+        remote = None
+        if self.distributed:
+            from ..runner.remote import RemoteFabric
+
+            remote = RemoteFabric(
+                workers=self.remote_workers,
+                lease_timeout=self.lease_timeout,
+            )
+        return ExperimentEngine(jobs=self.workers, cache=cache, remote=remote)
 
     def build_service(self) -> RetimingService:
         return RetimingService(
@@ -69,6 +80,12 @@ async def _serve(config: ServerConfig) -> int:
     else:
         host, port = await frontend.start_tcp(config.host, config.port)
         print(f"serving on http://{host}:{port}", flush=True)
+    if service.engine.remote is not None:
+        # Starting the work plane eagerly puts its address on stdout so
+        # external `repro worker --connect` processes can find it.
+        print(
+            f"work plane on http://{service.engine.remote.address}", flush=True
+        )
 
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
@@ -77,10 +94,14 @@ async def _serve(config: ServerConfig) -> int:
             loop.add_signal_handler(sig, stop.set)
     await stop.wait()
 
-    # Drain: stop accepting, answer everything queued, then exit clean.
+    # Drain first, close the listener after: a connection racing the
+    # drain gets a structured 503 + Retry-After, never a refused or hung
+    # socket.  Queued work completes and is delivered before the
+    # listener goes away.
     print("draining...", flush=True)
-    await frontend.aclose()
     await service.drain()
+    await frontend.aclose()
+    service.engine.close()
     s = service.stats
     print(
         f"drained: {s.submitted} submitted, {s.completed} completed, "

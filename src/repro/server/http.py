@@ -20,7 +20,7 @@ condition                 status  body
 malformed JSON / request  400     ``ProtocolError`` envelope
 unknown route             404     ``NotFound`` envelope
 shed (queue full)         503     envelope with ``retry_after``
-draining                  503     ``ServiceClosedError`` envelope
+draining                  503     ``ServiceClosedError`` + ``retry_after``
 injected/unknown fault    500     structured error envelope
 ========================  ======  =================================
 
@@ -164,7 +164,11 @@ class HttpFrontend:
             )
         except ServiceClosedError as exc:
             return 503, error_envelope(
-                str(exc), "ServiceClosedError", kind=req.kind, key=req.key
+                str(exc),
+                "ServiceClosedError",
+                kind=req.kind,
+                key=req.key,
+                retry_after=getattr(exc, "retry_after", None),
             )
         except resilience.FaultInjected as exc:
             count("server.accept_faults")

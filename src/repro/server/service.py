@@ -69,7 +69,18 @@ class OverloadedError(Exception):
 
 
 class ServiceClosedError(Exception):
-    """The service is draining and admits no new work."""
+    """The service is draining and admits no new work.
+
+    Carries ``retry_after`` so the HTTP layer can answer a connection
+    that races the drain with a proper 503 + ``Retry-After`` instead of
+    a bare refusal — the client may find a respawned server there.
+    """
+
+    def __init__(
+        self, message: str = "server is draining", retry_after: float = 1.0
+    ) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 @dataclass
@@ -167,9 +178,19 @@ class RetimingService:
         """Distinct keys currently queued or executing."""
         return len(self._pending)
 
+    def begin_drain(self) -> None:
+        """Stop admission immediately (new submissions shed with 503).
+
+        The synchronous first half of :meth:`drain`: in-flight work keeps
+        executing and delivering, but no new key enters the queue.  The
+        drain-race tests use this to pin the admission decision without
+        racing the full drain's completion wait.
+        """
+        self._draining = True
+
     async def drain(self) -> None:
         """Stop admission, complete everything in flight, stop dispatching."""
-        self._draining = True
+        self.begin_drain()
         self._gate.set()  # a held gate must not wedge the drain
         while self._pending:
             await asyncio.sleep(0.005)
@@ -225,7 +246,9 @@ class RetimingService:
         if self._draining:
             self.stats.shed += 1
             count("server.shed")
-            raise ServiceClosedError("server is draining")
+            raise ServiceClosedError(
+                "server is draining", retry_after=self.retry_after
+            )
         existing = self._pending.get(req.key)
         if existing is not None:
             self.stats.deduped += 1

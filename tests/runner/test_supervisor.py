@@ -14,8 +14,12 @@ import signal
 
 import pytest
 
-from repro.runner import ExperimentEngine, SupervisedPool
-from repro.runner import resilience
+from repro.runner import (
+    ExperimentEngine,
+    SupervisedPool,
+    resilience,
+    sweep_orphan_heartbeats,
+)
 from repro.runner.resilience import FaultPlan, FaultSpec, RetryPolicy
 
 PARAMS = [{"x": i} for i in range(6)]
@@ -190,3 +194,54 @@ class TestJournalIntegration:
         resumed.load_resume_state(scan)
         assert resumed.map_cached("unit", _square, PARAMS) == ref
         assert resumed.stats.resumed == len(PARAMS)
+
+
+def _dead_pid() -> int:
+    """A pid guaranteed dead: a reaped child's."""
+    import subprocess
+    import sys
+
+    proc = subprocess.Popen([sys.executable, "-c", "pass"])
+    proc.wait()
+    return proc.pid
+
+
+class TestOrphanHeartbeatSweep:
+    def test_removes_dead_owner_dirs_only(self, tmp_path):
+        dead = tmp_path / f"repro-supervisor-pid{_dead_pid()}-a1b2"
+        live = tmp_path / f"repro-supervisor-pid{os.getpid()}-c3d4"
+        foreign = tmp_path / "repro-supervisor-c3d4"  # pre-pid naming
+        unparseable = tmp_path / "repro-supervisor-pidxyz-e5f6"
+        for d in (dead, live, foreign, unparseable):
+            d.mkdir()
+            (d / "hb-0").write_text("beat")
+        not_a_dir = tmp_path / f"repro-supervisor-pid{_dead_pid()}-file"
+        not_a_dir.write_text("stray file, not a heartbeat dir")
+
+        assert sweep_orphan_heartbeats(tmp_path) == 1
+        assert not dead.exists()
+        assert live.exists() and foreign.exists() and unparseable.exists()
+        assert not_a_dir.exists()
+        # Idempotent: a second sweep finds nothing left to reap.
+        assert sweep_orphan_heartbeats(tmp_path) == 0
+
+    def test_pool_run_sweeps_orphans_on_start(self):
+        import tempfile
+        from pathlib import Path
+
+        orphan = Path(tempfile.gettempdir()) / (
+            f"repro-supervisor-pid{_dead_pid()}-testorphan"
+        )
+        orphan.mkdir()
+        (orphan / "hb-0").write_text("beat")
+        try:
+            out = SupervisedPool(1).run(
+                [(_square, {"x": 3}, "k0", None, False, "unit#0", None, None)]
+            )
+            assert out[0]["payload"]["ok"] and out[0]["payload"]["y"] == 9
+            assert not orphan.exists()  # swept before the run started
+        finally:
+            if orphan.exists():
+                import shutil
+
+                shutil.rmtree(orphan, ignore_errors=True)

@@ -1,0 +1,125 @@
+"""Drain vs. new-connection races: always 503 + Retry-After, never a hang.
+
+A connection that arrives while the server is draining must get a clean,
+immediate answer — a 503 carrying ``Retry-After`` (the client may find a
+respawned server there) — while requests already in flight complete and
+deliver.  Determinism comes from the service's dispatcher gate
+(``hold``/``release``) and the synchronous ``begin_drain`` half of the
+drain, not from sleeps.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.server import ServiceClosedError, parse_request
+from repro.server.http import HttpFrontend
+
+from .conftest import analyze_doc, http_json, make_service
+
+
+async def _wait_until(predicate, timeout: float = 30.0):
+    deadline = asyncio.get_event_loop().time() + timeout
+    while not predicate():
+        assert asyncio.get_event_loop().time() < deadline
+        await asyncio.sleep(0.005)
+
+
+def test_service_closed_error_carries_retry_after():
+    exc = ServiceClosedError()
+    assert exc.retry_after == 1.0
+    assert "draining" in str(exc)
+    assert ServiceClosedError(retry_after=2.5).retry_after == 2.5
+
+
+def test_begin_drain_sheds_submissions_with_retry_after():
+    async def scenario():
+        service = make_service(retry_after=0.7)
+        await service.start()
+        service.begin_drain()
+        try:
+            await service.submit(parse_request(analyze_doc()))
+        except ServiceClosedError as exc:
+            assert exc.retry_after == 0.7
+        else:
+            raise AssertionError("draining service admitted new work")
+        assert service.stats.shed == 1
+        await service.drain()
+
+    asyncio.run(scenario())
+
+
+def test_unix_socket_connection_racing_drain_gets_503(tmp_path):
+    async def scenario():
+        sock = str(tmp_path / "repro.sock")
+        service = make_service(retry_after=0.7)
+        frontend = HttpFrontend(service)
+        await frontend.start_unix(sock)
+
+        # Park one request mid-flight behind the dispatcher gate.
+        service.hold()
+        inflight = asyncio.create_task(
+            http_json("", 0, analyze_doc(n=3), unix=sock)
+        )
+        await _wait_until(lambda: service.stats.submitted == 1)
+
+        # Admission stops *now*; the in-flight request is unaffected.
+        service.begin_drain()
+        status, headers, body = await asyncio.wait_for(
+            http_json("", 0, analyze_doc(n=9), unix=sock), timeout=30.0
+        )
+        assert status == 503
+        assert headers.get("retry-after") == "0.7"
+        assert body["ok"] is False and body["retry_after"] == 0.7
+        assert "draining" in body["error"]
+
+        # Release the gate and finish the drain: the parked request must
+        # be answered, not dropped.
+        service.release()
+        drain = asyncio.create_task(service.drain())
+        status, _, body = await asyncio.wait_for(inflight, timeout=30.0)
+        assert status == 200 and body["ok"] and body["payload"]["period"] == 3
+        await drain
+        await frontend.aclose()
+
+        stats = service.stats
+        assert stats.submitted == 2
+        assert stats.completed == 1 and stats.shed == 1
+        assert stats.completed + stats.failed + stats.shed == stats.submitted
+
+    asyncio.run(scenario())
+
+
+def test_connection_during_full_drain_is_never_hung(tmp_path):
+    """The same race through the real ``drain()`` coroutine: a request
+    that slips in after admission closed gets its 503 while the drain is
+    still waiting on in-flight work."""
+
+    async def scenario():
+        sock = str(tmp_path / "repro.sock")
+        service = make_service()
+        frontend = HttpFrontend(service)
+        await frontend.start_unix(sock)
+
+        service.hold()
+        inflight = asyncio.create_task(
+            http_json("", 0, analyze_doc(n=4), unix=sock)
+        )
+        await _wait_until(lambda: service.stats.submitted == 1)
+
+        # drain() releases the gate itself; the parked unit proceeds
+        # while we race a fresh connection against the drain.
+        drain = asyncio.create_task(service.drain())
+        status, headers, _ = await asyncio.wait_for(
+            http_json("", 0, analyze_doc(n=11), unix=sock), timeout=30.0
+        )
+        assert status == 503
+        assert float(headers.get("retry-after", "0")) > 0
+
+        status, _, body = await asyncio.wait_for(inflight, timeout=30.0)
+        assert status == 200 and body["ok"]
+        await drain
+        await frontend.aclose()
+
+    asyncio.run(scenario())
